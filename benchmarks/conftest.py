@@ -1,0 +1,31 @@
+"""Benchmark-suite helpers.
+
+Each benchmark regenerates one of the paper's tables or figures through the
+experiment registry (quick fidelity), prints the reproduced rows next to the
+paper's expectations, and records the measured values in
+``benchmark.extra_info`` so ``--benchmark-json`` output carries them.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_experiment
+
+
+def run_and_report(benchmark, experiment_id: str):
+    """Benchmark one experiment run and report its rows."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["paper_reference"] = result.paper_reference
+    benchmark.extra_info["rows"] = [
+        {k: (round(v, 3) if isinstance(v, float) else v) for k, v in row.items()}
+        for row in result.rows
+    ]
+    return result

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper ablation_limit1 (aggregation limit one)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_aggregation_limit_one(benchmark):
+    run_and_report(benchmark, "ablation_limit1")

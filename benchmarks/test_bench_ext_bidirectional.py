@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_bidirectional (bidirectional cwnd accounting)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_bidirectional_cwnd_accounting(benchmark):
+    run_and_report(benchmark, "extension_bidirectional")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_hw_lro (hardware lro comparison)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_hardware_lro_comparison(benchmark):
+    run_and_report(benchmark, "extension_hw_lro")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_itr (interrupt moderation sweep)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_interrupt_moderation_sweep(benchmark):
+    run_and_report(benchmark, "extension_itr")

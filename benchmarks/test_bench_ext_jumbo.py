@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_jumbo (jumbo frames comparison)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_jumbo_frames_comparison(benchmark):
+    run_and_report(benchmark, "extension_jumbo")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_load_sensitivity."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_load_sensitivity_sweep(benchmark):
+    run_and_report(benchmark, "extension_load_sensitivity")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate extension study extension_tso."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_tso_transmit_analogue(benchmark):
+    run_and_report(benchmark, "extension_tso")

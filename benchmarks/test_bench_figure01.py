@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure1 (prefetching shares)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_prefetching_shares(benchmark):
+    run_and_report(benchmark, "figure1")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure2 (per byte vs per packet by system)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_per_byte_vs_per_packet_by_system(benchmark):
+    run_and_report(benchmark, "figure2")

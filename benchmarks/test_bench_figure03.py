@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure3 (up baseline breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_up_baseline_breakdown(benchmark):
+    run_and_report(benchmark, "figure3")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure4 (smp vs up breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_smp_vs_up_breakdown(benchmark):
+    run_and_report(benchmark, "figure4")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure6 (xen baseline breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_xen_baseline_breakdown(benchmark):
+    run_and_report(benchmark, "figure6")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure7 (overall throughput)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_overall_throughput(benchmark):
+    run_and_report(benchmark, "figure7")

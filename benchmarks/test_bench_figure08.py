@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure8 (up opt breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_up_opt_breakdown(benchmark):
+    run_and_report(benchmark, "figure8")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure9 (smp opt breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_smp_opt_breakdown(benchmark):
+    run_and_report(benchmark, "figure9")

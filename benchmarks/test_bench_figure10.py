@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure10 (xen opt breakdown)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_xen_opt_breakdown(benchmark):
+    run_and_report(benchmark, "figure10")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure11 (aggregation limit sweep)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_aggregation_limit_sweep(benchmark):
+    run_and_report(benchmark, "figure11")

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper figure12 (scalability sweep)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_scalability_sweep(benchmark):
+    run_and_report(benchmark, "figure12")

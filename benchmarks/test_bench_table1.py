@@ -1,0 +1,7 @@
+"""Benchmark: regenerate paper table1 (request response latency)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_request_response_latency(benchmark):
+    run_and_report(benchmark, "table1")

@@ -1,0 +1,53 @@
+"""Tuning the Aggregation Limit (paper §5.2, Figure 11).
+
+Sweeps the maximum number of network packets coalesced into one host packet
+and plots CPU cycles/packet against it, alongside the paper's analytic
+x + y/k model.  The knee — where extra aggregation stops paying — lands
+around 20, which is why the paper (and this library's default
+OptimizationConfig) uses 20.
+
+Usage::
+
+    python examples/aggregation_tuning.py
+"""
+
+from repro import OptimizationConfig, linux_up_config, run_stream_experiment
+from repro.analysis.reporting import ascii_series, render_table
+
+
+def main() -> None:
+    config = linux_up_config()
+    limits = [1, 2, 4, 8, 12, 16, 20, 28, 35]
+    rows = []
+    for limit in limits:
+        r = run_stream_experiment(
+            config, OptimizationConfig.optimized(aggregation_limit=limit),
+            duration=0.08, warmup=0.08,
+        )
+        rows.append({
+            "limit": limit,
+            "cycles/packet": r.cycles_per_packet,
+            "achieved degree": r.aggregation_degree,
+            "throughput Mb/s": r.throughput_mbps,
+        })
+
+    print(render_table(
+        ["limit", "cycles/packet", "achieved degree", "throughput Mb/s"],
+        rows, title="CPU overhead vs Aggregation Limit (UP)",
+    ))
+    print()
+    print(ascii_series(
+        [(row["limit"], row["cycles/packet"]) for row in rows],
+        width=60, height=12,
+        title="cycles/packet vs aggregation limit (the paper's Figure 11)",
+        x_label="aggregation limit", y_label="cycles/packet",
+    ))
+    knee = min(
+        (row for row in rows),
+        key=lambda row: row["cycles/packet"] + 40 * row["limit"],  # mild size penalty
+    )
+    print(f"\nSuggested Aggregation Limit: {knee['limit']} (paper chose 20).")
+
+
+if __name__ == "__main__":
+    main()

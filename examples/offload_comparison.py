@@ -1,0 +1,59 @@
+"""Offload strategy comparison: software aggregation vs hardware helpers.
+
+Positions the paper's software-only optimizations against the hardware
+alternatives its related-work section discusses: NIC-resident LRO and jumbo
+frames.  All four stacks receive the same saturating workload; the table
+shows what each buys, at what dependency cost.
+
+Usage::
+
+    python examples/offload_comparison.py
+"""
+
+import dataclasses
+
+from repro import OptimizationConfig, linux_up_config, run_stream_experiment
+from repro.analysis.reporting import render_table
+
+
+def main() -> None:
+    base_cfg = linux_up_config()
+    scenarios = [
+        ("Baseline stack", base_cfg, OptimizationConfig.baseline(),
+         "none"),
+        ("Software RA+AO (the paper)", base_cfg, OptimizationConfig.optimized(),
+         "none — any NIC with rx checksum offload"),
+        ("Hardware LRO (Neterion-style)", dataclasses.replace(base_cfg, nic_lro=True),
+         OptimizationConfig.baseline(), "10GbE-class NIC with LRO"),
+        ("Jumbo frames (MTU 9000)",
+         dataclasses.replace(base_cfg, mtu=9000, mss=9000 - 52),
+         OptimizationConfig.baseline(), "every switch + host on the LAN"),
+    ]
+
+    rows = []
+    for label, cfg, opt, needs in scenarios:
+        r = run_stream_experiment(cfg, opt, duration=0.1, warmup=0.1)
+        rows.append({
+            "stack": label,
+            "throughput Mb/s": r.throughput_mbps,
+            "CPU util %": 100 * r.cpu_utilization,
+            "cycles/packet": r.cycles_per_packet,
+            "wire ACKs/1000 pkts": 1000 * r.acks_sent / max(1, r.network_packets),
+            "requires": needs,
+        })
+
+    print(render_table(
+        ["stack", "throughput Mb/s", "CPU util %", "cycles/packet",
+         "wire ACKs/1000 pkts", "requires"],
+        rows,
+        title="Receive-offload strategies under a 5 x GbE saturating stream",
+    ))
+    print(
+        "\nThe paper's point, quantified: software aggregation gets most of"
+        "\nthe hardware approaches' CPU savings with no hardware dependency,"
+        "\nand (unlike era LRO) keeps the wire ACK stream protocol-exact."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Quickstart: the paper's headline result in one page.
+
+Runs the netperf-like streaming receive benchmark on the simulated
+uniprocessor Linux server twice — baseline stack vs. Receive Aggregation +
+Acknowledgment Offload — and prints throughput, CPU state, and the
+cycles-per-packet breakdown (paper Figures 7 and 8).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import OptimizationConfig, linux_up_config, run_stream_experiment
+from repro.analysis.reporting import ascii_bar_chart
+from repro.cpu.categories import Category
+
+
+def main() -> None:
+    config = linux_up_config()
+    print(f"System: {config.name} — {config.cpu_freq_hz / 1e9:.1f} GHz, "
+          f"{config.n_nics} x {config.nic_rate_bps / 1e9:.0f} GbE NICs\n")
+
+    baseline = run_stream_experiment(config, OptimizationConfig.baseline())
+    optimized = run_stream_experiment(config, OptimizationConfig.optimized())
+
+    for label, r in (("Baseline", baseline), ("Optimized", optimized)):
+        print(
+            f"{label:9s}: {r.throughput_mbps:7.0f} Mb/s at {r.cpu_utilization:6.1%} CPU"
+            f"  ({r.cycles_per_packet:6.0f} cycles/packet,"
+            f" aggregation degree {r.aggregation_degree:.1f})"
+        )
+    gain = optimized.throughput_mbps / baseline.throughput_mbps - 1
+    scaled = optimized.cpu_scaled_mbps / baseline.cpu_scaled_mbps - 1
+    print(f"\nGain: {gain:+.0%} absolute, {scaled:+.0%} CPU-scaled"
+          f"  (paper: +35% / +45%)\n")
+
+    for label, r in (("Baseline", baseline), ("Optimized", optimized)):
+        items = [(cat, r.breakdown.get(cat, 0.0)) for cat in Category.NATIVE_ORDER
+                 if r.breakdown.get(cat, 0.0) > 0]
+        print(ascii_bar_chart(items, width=44, unit=" cyc/pkt",
+                              title=f"{label} receive-processing breakdown:"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Storage-area-network scenario (paper §5.5).
+
+The paper names iSCSI storage servers as the real-world beneficiary of the
+receive optimizations: many initiators push large writes at LAN latencies,
+and the target's CPU — not its links — is the bottleneck.
+
+This example models a storage target accepting backup streams from a growing
+pool of initiators (multiple connections per NIC, as in Figure 12) and
+reports, for baseline vs optimized stacks:
+
+* aggregate ingest throughput,
+* CPU utilization (headroom left for the actual storage work!), and
+* the effective per-initiator bandwidth.
+
+Usage::
+
+    python examples/storage_san.py [n_initiators ...]
+"""
+
+import sys
+
+from repro import OptimizationConfig, linux_smp_config, run_stream_experiment
+from repro.analysis.reporting import render_table
+
+
+def main(initiator_counts) -> None:
+    config = linux_smp_config()
+    print("iSCSI-like storage target:", config.name,
+          f"({config.n_nics} x {config.nic_rate_bps / 1e9:.0f} GbE)\n")
+
+    rows = []
+    for n in initiator_counts:
+        base = run_stream_experiment(config, OptimizationConfig.baseline(),
+                                     n_connections=n, duration=0.1, warmup=0.1)
+        opt = run_stream_experiment(config, OptimizationConfig.optimized(),
+                                    n_connections=n, duration=0.1, warmup=0.1)
+        rows.append({
+            "initiators": n,
+            "baseline Mb/s": base.throughput_mbps,
+            "baseline CPU": f"{base.cpu_utilization:.0%}",
+            "optimized Mb/s": opt.throughput_mbps,
+            "optimized CPU": f"{opt.cpu_utilization:.0%}",
+            "per-initiator Mb/s": opt.throughput_mbps / n,
+            "ingest gain": f"{opt.throughput_mbps / base.throughput_mbps - 1:+.0%}",
+        })
+
+    print(render_table(
+        ["initiators", "baseline Mb/s", "baseline CPU", "optimized Mb/s",
+         "optimized CPU", "per-initiator Mb/s", "ingest gain"],
+        rows,
+        title="Storage ingest scaling (write-heavy initiators)",
+    ))
+    print(
+        "\nThe optimized stack saturates the links with CPU to spare — the"
+        "\nheadroom a real target needs for checksumming, RAID, and disk I/O."
+    )
+
+
+if __name__ == "__main__":
+    counts = [int(a) for a in sys.argv[1:]] or [4, 16, 64]
+    main(counts)

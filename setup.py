@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary metadata lives in ``pyproject.toml``.  This file exists so that
+``python setup.py develop`` works in offline environments whose setuptools
+cannot build PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

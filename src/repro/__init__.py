@@ -1,0 +1,61 @@
+"""repro — reproduction of "Optimizing TCP Receive Performance"
+(Aravind Menon and Willy Zwaenepoel, USENIX ATC 2008).
+
+A discrete-event simulation of the TCP receive path with an explicit CPU
+cycle-cost model, implementing the paper's two optimizations — **Receive
+Aggregation** and **Acknowledgment Offload** — on top of a real TCP protocol
+machine, an e1000-style NIC/driver model, and a Xen network-virtualization
+substrate.  See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+
+Quickstart::
+
+    from repro import (
+        linux_up_config, OptimizationConfig, run_stream_experiment,
+    )
+
+    base = run_stream_experiment(linux_up_config(), OptimizationConfig.baseline())
+    opt = run_stream_experiment(linux_up_config(), OptimizationConfig.optimized())
+    print(base.throughput_mbps, "->", opt.throughput_mbps)
+"""
+
+from repro.core import (
+    AggregationEngine,
+    BypassReason,
+    OptimizationConfig,
+    build_template_ack_skb,
+    expand_template,
+)
+from repro.cpu import Category, CostModel, PrefetchMode
+from repro.host import ClientHost, ReceiverMachine, SystemConfig
+from repro.host.configs import linux_smp_config, linux_up_config, xen_config
+from repro.workloads import (
+    LatencyResult,
+    ThroughputResult,
+    run_rr_experiment,
+    run_stream_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationEngine",
+    "BypassReason",
+    "OptimizationConfig",
+    "build_template_ack_skb",
+    "expand_template",
+    "Category",
+    "CostModel",
+    "PrefetchMode",
+    "ClientHost",
+    "ReceiverMachine",
+    "SystemConfig",
+    "linux_up_config",
+    "linux_smp_config",
+    "xen_config",
+    "run_stream_experiment",
+    "run_rr_experiment",
+    "ThroughputResult",
+    "LatencyResult",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Analysis and reporting: turning profiles into the paper's figures."""
+
+from repro.analysis.breakdown import breakdown_table, group_reduction_factor
+from repro.analysis.export import result_to_csv, results_to_csv_files
+from repro.analysis.reporting import ascii_bar_chart, ascii_series, render_table
+from repro.analysis.validation import validate
+
+__all__ = [
+    "breakdown_table",
+    "group_reduction_factor",
+    "render_table",
+    "ascii_bar_chart",
+    "ascii_series",
+    "result_to_csv",
+    "results_to_csv_files",
+    "validate",
+]

@@ -1,0 +1,62 @@
+"""Profile-breakdown helpers for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.workloads.results import ThroughputResult
+
+
+def breakdown_table(
+    results: Sequence[ThroughputResult],
+    order: Iterable[str],
+    labels: Sequence[str] = None,
+) -> List[Dict[str, object]]:
+    """Rows of {category, <label>: cycles/packet, ...} for each category.
+
+    One column per result (e.g. "Original" / "Optimized"), in the category
+    order of the relevant figure axis.
+    """
+    if labels is None:
+        labels = [("Optimized" if r.optimized else "Original") for r in results]
+    rows: List[Dict[str, object]] = []
+    for cat in order:
+        row: Dict[str, object] = {"category": cat}
+        for label, result in zip(labels, results):
+            row[label] = result.breakdown.get(cat, 0.0)
+        if any(row[label] for label in labels):
+            rows.append(row)
+    return rows
+
+
+def group_reduction_factor(
+    original: ThroughputResult,
+    optimized: ThroughputResult,
+    categories: Iterable[str],
+) -> float:
+    """How much the optimizations shrank a category group, per packet.
+
+    This is the paper's headline per-packet-overhead reduction (§5.1:
+    "reduced by a factor of 4.3" on UP, 5.5 on SMP, 3.7 on Xen).
+    """
+    cats = list(categories)
+    before = original.group_cycles(cats)
+    after = optimized.group_cycles(cats)
+    if after <= 0:
+        return float("inf")
+    return before / after
+
+
+def analytic_aggregation_curve(
+    constant_cycles: float,
+    scalable_cycles: float,
+    limits: Iterable[int],
+) -> Dict[int, float]:
+    """The paper's x + y/k model for CPU overhead vs. aggregation limit.
+
+    §5.2: "if x% of the overhead is constant, and y% is the per-packet
+    overhead that can be reduced by aggregation, then using an aggregation
+    factor of k should reduce the system CPU utilization from x + y to
+    x + y/k."
+    """
+    return {k: constant_cycles + scalable_cycles / k for k in limits}

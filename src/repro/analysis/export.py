@@ -1,0 +1,36 @@
+"""CSV export of experiment results (for external plotting)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import TYPE_CHECKING, Iterable, Optional, TextIO
+
+if TYPE_CHECKING:  # avoid a circular import; results are duck-typed here
+    from repro.experiments.base import ExperimentResult
+
+
+def result_to_csv(result: "ExperimentResult", fh: Optional[TextIO] = None) -> str:
+    """Write one experiment's rows as CSV; returns the CSV text."""
+    buffer = fh if fh is not None else io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(result.columns))
+    writer.writeheader()
+    for row in result.rows:
+        writer.writerow({col: row.get(col, "") for col in result.columns})
+    if fh is None:
+        return buffer.getvalue()
+    return ""
+
+
+def results_to_csv_files(results: "Iterable[ExperimentResult]", directory: str) -> list:
+    """Write one ``<experiment_id>.csv`` per result; returns the paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for result in results:
+        path = os.path.join(directory, f"{result.experiment_id}.csv")
+        with open(path, "w", newline="") as fh:
+            result_to_csv(result, fh)
+        paths.append(path)
+    return paths

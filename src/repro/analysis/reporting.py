@@ -1,0 +1,93 @@
+"""Plain-text rendering of experiment results (tables and ASCII charts).
+
+Every benchmark harness prints through these, so a run of the benchmark
+suite regenerates the same rows/series the paper reports, in a form that is
+diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(columns: Sequence[str], rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render rows (dicts keyed by column name) as an aligned text table."""
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    out: List[str] = []
+    if title:
+        out.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    out.append(header)
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(line[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(out)
+
+
+def ascii_bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 50,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars, scaled to the maximum value."""
+    if not items:
+        return title
+    peak = max(value for _, value in items) or 1.0
+    label_w = max(len(label) for label, _ in items)
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for label, value in items:
+        bar = "#" * max(0, round(width * value / peak))
+        out.append(f"{label.ljust(label_w)} | {bar} {_fmt(value)}{unit}")
+    return "\n".join(out)
+
+
+def ascii_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A crude scatter/line plot for sweep experiments (figures 11 and 12)."""
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - round((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(f"{y_label} ({_fmt(y_hi)} top, {_fmt(y_lo)} bottom)")
+    for row in grid:
+        out.append("|" + "".join(row))
+    out.append("+" + "-" * width)
+    out.append(f" {x_label}: {_fmt(x_lo)} .. {_fmt(x_hi)}")
+    return "\n".join(out)

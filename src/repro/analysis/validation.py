@@ -1,0 +1,106 @@
+"""Band validation: programmatic paper-vs-measured checks.
+
+Encodes the qualitative claims of each paper artifact as named checks over
+an :class:`~repro.experiments.base.ExperimentResult`, so the CLI and the
+report can print a PASS/FAIL verdict next to every regenerated figure.
+The pytest suite asserts the same bands (``tests/test_experiments.py``);
+this module exists for interactive use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from typing import TYPE_CHECKING
+
+from repro.cpu.categories import Category
+
+if TYPE_CHECKING:  # avoid a circular import; results are duck-typed here
+    from repro.experiments.base import ExperimentResult
+
+
+@dataclass
+class CheckResult:
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{'PASS' if self.passed else 'FAIL'}] {self.name}: {self.detail}"
+
+
+def _within(value: float, target: float, rel: float) -> bool:
+    return abs(value - target) <= rel * abs(target)
+
+
+def _figure7_checks(result: "ExperimentResult") -> List[CheckResult]:
+    checks = []
+    for system, expected in result.paper_expected.items():
+        if not isinstance(expected, dict):
+            continue
+        row = result.row(system=system)
+        checks.append(CheckResult(
+            f"{system} baseline",
+            _within(row["Original Mb/s"], expected["original"], 0.12),
+            f"measured {row['Original Mb/s']:.0f} vs paper {expected['original']}",
+        ))
+        checks.append(CheckResult(
+            f"{system} optimized",
+            _within(row["Optimized Mb/s"], expected["optimized"], 0.12),
+            f"measured {row['Optimized Mb/s']:.0f} vs paper {expected['optimized']}",
+        ))
+    return checks
+
+
+def _figure3_checks(result: "ExperimentResult") -> List[CheckResult]:
+    by_cat = {row["category"]: row["cycles/packet"] for row in result.rows}
+    total = sum(by_cat.values())
+    targets = {
+        "driver share": (by_cat.get(Category.DRIVER, 0) / total, 0.21),
+        "per-byte share": (by_cat.get(Category.PER_BYTE, 0) / total, 0.17),
+        "rx+tx share": ((by_cat.get(Category.RX, 0) + by_cat.get(Category.TX, 0)) / total, 0.21),
+    }
+    return [
+        CheckResult(name, abs(measured - target) < 0.05,
+                    f"measured {measured:.1%} vs paper {target:.0%}")
+        for name, (measured, target) in targets.items()
+    ]
+
+
+def _table1_checks(result: "ExperimentResult") -> List[CheckResult]:
+    return [
+        CheckResult(
+            f"{row['system']} latency unchanged",
+            abs(row["delta %"]) < 1.0,
+            f"optimized vs original delta {row['delta %']:+.2f}%",
+        )
+        for row in result.rows
+    ]
+
+
+def _figure12_checks(result: "ExperimentResult") -> List[CheckResult]:
+    last = result.rows[-1]
+    return [
+        CheckResult(
+            f"gain at {last['connections']} connections",
+            last["gain %"] >= 40,
+            f"measured {last['gain %']:+.0f}% vs paper '>= 40%'",
+        )
+    ]
+
+
+_CHECKERS: Dict[str, Callable[[ExperimentResult], List[CheckResult]]] = {
+    "figure3": _figure3_checks,
+    "figure7": _figure7_checks,
+    "figure12": _figure12_checks,
+    "table1": _table1_checks,
+}
+
+
+def validate(result: "ExperimentResult") -> List[CheckResult]:
+    """Run the registered band checks for this experiment (may be empty)."""
+    checker = _CHECKERS.get(result.experiment_id)
+    if checker is None:
+        return []
+    return checker(result)

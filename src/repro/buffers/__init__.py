@@ -1,0 +1,12 @@
+"""Network buffer management.
+
+Models Linux's ``sk_buff`` metadata structure and its slab allocation, which
+the paper identifies as the single largest per-packet overhead outside the
+driver (§2.2: "most of the buffer management overhead is incurred in the
+memory management of sk_buffs").
+"""
+
+from repro.buffers.pool import BufferPool, BufferPoolStats
+from repro.buffers.skbuff import SkBuff
+
+__all__ = ["SkBuff", "BufferPool", "BufferPoolStats"]

@@ -1,0 +1,83 @@
+"""Slab-like buffer pool accounting.
+
+The pool tracks sk_buff allocation/free traffic.  It does not recycle Python
+objects (the garbage collector handles memory); what matters for the
+reproduction is *how many* alloc/free operations the stack performs — that is
+the quantity Receive Aggregation divides by the aggregation factor, and the
+profiler charges ``buffer`` cycles per operation at the call sites.
+
+The pool also enforces balance: a leak (alloc without free) or a double free
+is a stack bug, and tests assert :meth:`BufferPool.assert_balanced` after
+every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.buffers.skbuff import SkBuff
+
+
+@dataclass
+class BufferPoolStats:
+    """Alloc/free counters for one pool."""
+
+    allocs: int = 0
+    frees: int = 0
+    outstanding: int = 0
+    peak_outstanding: int = 0
+
+    def copy(self) -> "BufferPoolStats":
+        return BufferPoolStats(self.allocs, self.frees, self.outstanding, self.peak_outstanding)
+
+
+class BufferPool:
+    """An sk_buff allocator with balance checking.
+
+    Parameters
+    ----------
+    name:
+        Label for diagnostics.
+    capacity:
+        Optional hard cap on outstanding buffers; ``alloc`` returns ``None``
+        when exhausted (the caller drops the packet, as Linux does under
+        memory pressure).
+    """
+
+    def __init__(self, name: str = "skb", capacity: Optional[int] = None):
+        self.name = name
+        self.capacity = capacity
+        self.stats = BufferPoolStats()
+
+    def alloc(self, head: Packet, now: float = 0.0) -> Optional[SkBuff]:
+        """Allocate an SkBuff wrapping ``head``; None if the pool is exhausted."""
+        if self.capacity is not None and self.stats.outstanding >= self.capacity:
+            return None
+        self.stats.allocs += 1
+        self.stats.outstanding += 1
+        if self.stats.outstanding > self.stats.peak_outstanding:
+            self.stats.peak_outstanding = self.stats.outstanding
+        return SkBuff(head, pool=self, alloc_time=now)
+
+    def note_free(self, skb: SkBuff) -> None:
+        """Called by :meth:`SkBuff.free`; not for direct use."""
+        self.stats.frees += 1
+        self.stats.outstanding -= 1
+        if self.stats.outstanding < 0:
+            raise RuntimeError(f"pool {self.name!r}: more frees than allocs")
+
+    def assert_balanced(self) -> None:
+        """Raise if any buffer is still outstanding."""
+        if self.stats.outstanding != 0:
+            raise AssertionError(
+                f"pool {self.name!r} leaked {self.stats.outstanding} buffers "
+                f"({self.stats.allocs} allocs, {self.stats.frees} frees)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BufferPool({self.name!r}, allocs={self.stats.allocs},"
+            f" frees={self.stats.frees}, outstanding={self.stats.outstanding})"
+        )

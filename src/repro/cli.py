@@ -1,0 +1,107 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list
+    python -m repro run figure7 [--quick] [--csv out.csv]
+    python -m repro all [--quick] [--csv-dir results/]
+    python -m repro report [--quick] [EXPERIMENTS.md]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.analysis.export import result_to_csv, results_to_csv_files
+from repro.analysis.validation import validate
+from repro.experiments.runner import REGISTRY, run_all, run_experiment
+
+
+def _cmd_list(_args) -> int:
+    width = max(len(eid) for eid in REGISTRY)
+    for eid, fn in REGISTRY.items():
+        doc = (fn.__module__.split(".")[-1]).replace("_", " ")
+        print(f"{eid.ljust(width)}  {doc}")
+    return 0
+
+
+def _print_result(result, csv_path=None) -> None:
+    print(result.to_text())
+    checks = validate(result)
+    if checks:
+        print()
+        for check in checks:
+            print(str(check))
+    if csv_path:
+        with open(csv_path, "w", newline="") as fh:
+            result_to_csv(result, fh)
+        print(f"\nwrote {csv_path}")
+
+
+def _cmd_run(args) -> int:
+    try:
+        result = run_experiment(args.experiment, quick=args.quick)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    _print_result(result, args.csv)
+    return 0
+
+
+def _cmd_all(args) -> int:
+    results = run_all(quick=args.quick)
+    for result in results:
+        _print_result(result)
+        print()
+    if args.csv_dir:
+        paths = results_to_csv_files(results, args.csv_dir)
+        print(f"wrote {len(paths)} CSV files to {args.csv_dir}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import generate_markdown
+
+    text = generate_markdown(quick=args.quick)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Optimizing TCP Receive Performance' (USENIX ATC 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", choices=sorted(REGISTRY))
+    p_run.add_argument("--quick", action="store_true", help="short measurement windows")
+    p_run.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_all = sub.add_parser("all", help="run every experiment")
+    p_all.add_argument("--quick", action="store_true")
+    p_all.add_argument("--csv-dir", metavar="DIR")
+    p_all.set_defaults(fn=_cmd_all)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")
+    p_rep.add_argument("--quick", action="store_true")
+    p_rep.set_defaults(fn=_cmd_report)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

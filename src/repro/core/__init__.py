@@ -1,0 +1,30 @@
+"""The paper's contribution: Receive Aggregation and Acknowledgment Offload.
+
+* :mod:`repro.core.aggregation` — §3: coalesce in-sequence TCP packets of a
+  connection into aggregated host packets at the entry of the network stack.
+* :mod:`repro.core.ack_offload` — §4: emit one template ACK carrying a list
+  of ACK numbers; the driver expands it into real ACK packets.
+* :mod:`repro.core.modified_tcp` — §3.4: the reference semantics of the
+  modified TCP layer (per-fragment congestion-window accounting and ACK
+  generation), implemented inside :class:`repro.tcp.connection.TcpConnection`
+  and cross-checked against the pure functions here by the test suite.
+"""
+
+from repro.core.aggregation import (
+    AggregationEngine,
+    AggregationStats,
+    BypassReason,
+    PartialAggregate,
+)
+from repro.core.ack_offload import build_template_ack_skb, expand_template
+from repro.core.config import OptimizationConfig
+
+__all__ = [
+    "AggregationEngine",
+    "AggregationStats",
+    "BypassReason",
+    "PartialAggregate",
+    "build_template_ack_skb",
+    "expand_template",
+    "OptimizationConfig",
+]

@@ -1,0 +1,299 @@
+"""Receive Aggregation (paper §3).
+
+The :class:`AggregationEngine` sits at the entry point of the network stack
+(the receive softirq in Linux terms).  The driver drops *raw* packets — no
+sk_buff allocated, no MAC processing done — into a per-CPU, lock-free
+aggregation queue (§3.5).  The engine consumes the queue, performs early
+demultiplexing (paying the compulsory header cache miss the driver used to
+pay), and coalesces eligible in-sequence packets of the same connection into
+aggregated host packets, chaining fragments onto a single sk_buff (§3.2).
+
+Eligibility (§3.1) — a packet bypasses aggregation (and flushes any partial
+aggregate of its flow first, preserving per-flow ordering) when any of:
+
+* it is not in sequence (by TCP sequence number *and* ACK number),
+* it is a zero-length (pure ACK) segment,
+* it carries IP options or is an IP fragment,
+* its IP header checksum is invalid (verified for real here),
+* the NIC did not validate its TCP checksum (offload missing/failed),
+* it carries TCP options other than the timestamp option (e.g. SACK),
+* it has flags beyond ACK/PSH (SYN, FIN, RST, URG, ECE, CWR).
+
+Work conservation (§3.3/§3.5): the moment the aggregation queue is empty,
+every partial aggregate is flushed to the stack — the stack never idles while
+packets wait, which is why the latency benchmark (Table 1) is unaffected.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, Iterable, Optional
+
+from repro.buffers.pool import BufferPool
+from repro.buffers.skbuff import SkBuff
+from repro.cpu.categories import Category
+from repro.cpu.cpu import Cpu
+from repro.cpu.costmodel import CostModel
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.net.tcp_header import TcpFlags
+from repro.tcp.seqmath import seq_ge
+from repro.core.config import OptimizationConfig
+
+
+class BypassReason(Enum):
+    """Why a packet was passed to the stack unaggregated."""
+
+    PURE_ACK = "pure-ack"
+    ZERO_LENGTH = "zero-length"
+    SPECIAL_FLAGS = "special-flags"
+    IP_OPTIONS = "ip-options"
+    IP_FRAGMENT = "ip-fragment"
+    BAD_IP_CHECKSUM = "bad-ip-checksum"
+    NO_CSUM_OFFLOAD = "no-csum-offload"
+    TCP_OPTIONS = "tcp-options"
+
+
+@dataclass
+class AggregationStats:
+    """Counters for one engine."""
+
+    packets_in: int = 0
+    eligible: int = 0
+    bypassed: int = 0
+    bypass_reasons: Dict[str, int] = field(default_factory=dict)
+    aggregates_delivered: int = 0
+    singles_delivered: int = 0
+    fragments_chained: int = 0
+    flush_limit: int = 0
+    flush_mismatch: int = 0
+    flush_work_conserving: int = 0
+    flush_eviction: int = 0
+    flush_bypass_ordering: int = 0
+    peak_table_occupancy: int = 0
+
+    def note_bypass(self, reason: BypassReason) -> None:
+        self.bypassed += 1
+        self.bypass_reasons[reason.value] = self.bypass_reasons.get(reason.value, 0) + 1
+
+    @property
+    def host_packets_delivered(self) -> int:
+        return self.aggregates_delivered + self.singles_delivered
+
+    @property
+    def average_aggregation(self) -> float:
+        """Network packets per delivered host packet."""
+        if self.host_packets_delivered == 0:
+            return 0.0
+        return self.packets_in / self.host_packets_delivered
+
+
+class PartialAggregate:
+    """A partially aggregated packet waiting in the lookup table."""
+
+    __slots__ = ("skb", "next_seq", "last_ack", "has_timestamp", "count")
+
+    def __init__(self, skb: SkBuff):
+        head = skb.head
+        self.skb = skb
+        self.next_seq = head.end_seq
+        self.last_ack = head.tcp.ack
+        self.has_timestamp = head.tcp.options.timestamp is not None
+        self.count = 1
+
+    def matches(self, pkt: Packet) -> bool:
+        """§3.1 in-sequence test: seq contiguous, ACK monotonic, consistent
+        timestamp presence."""
+        if pkt.tcp.seq != self.next_seq:
+            return False
+        if not seq_ge(pkt.tcp.ack, self.last_ack):
+            return False
+        if (pkt.tcp.options.timestamp is not None) != self.has_timestamp:
+            return False
+        return True
+
+    def add_fragment(self, pkt: Packet) -> None:
+        skb = self.skb
+        skb.frags.append(pkt)
+        skb.frag_acks.append(pkt.tcp.ack)
+        skb.frag_end_seqs.append(pkt.end_seq)
+        skb.frag_windows.append(pkt.tcp.window)
+        self.next_seq = pkt.end_seq
+        self.last_ack = pkt.tcp.ack
+        self.count += 1
+
+
+class AggregationEngine:
+    """Per-CPU receive aggregation at the network-stack entry point."""
+
+    def __init__(
+        self,
+        cpu: Cpu,
+        costs: CostModel,
+        opt: OptimizationConfig,
+        pool: BufferPool,
+        deliver: Callable[[SkBuff], None],
+        name: str = "aggr0",
+    ):
+        if opt.aggregation_limit < 1:
+            raise ValueError("aggregation limit must be >= 1")
+        self.cpu = cpu
+        self.costs = costs
+        self.opt = opt
+        self.pool = pool
+        self.deliver = deliver
+        self.name = name
+        self.stats = AggregationStats()
+        #: The per-CPU lock-free producer/consumer queue (§3.5).  Raw
+        #: packets only — no sk_buff has been allocated for them yet.
+        self.queue: Deque[Packet] = deque()
+        #: Partial aggregates, LRU-ordered (§3.5: "a small lookup table").
+        self.table: "OrderedDict[FlowKey, PartialAggregate]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # producer side (driver)
+    # ------------------------------------------------------------------
+    def enqueue(self, pkts: Iterable[Packet]) -> None:
+        """Driver drops raw packets into the aggregation queue.  Lock-free
+        per-CPU, so no locking cycles are charged (§3.5)."""
+        self.queue.extend(pkts)
+
+    # ------------------------------------------------------------------
+    # consumer side (softirq)
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Consume the queue, aggregating; then flush (work conservation)."""
+        consume = self.cpu.consume
+        costs = self.costs
+        while self.queue:
+            pkt = self.queue.popleft()
+            self.stats.packets_in += 1
+            # Early demultiplex: this is where the compulsory cache miss on
+            # the cold packet header is now paid (it left the driver).
+            consume(costs.mac_rx_processing, Category.AGGR)
+            consume(costs.aggr_match_per_packet, Category.AGGR)
+            reason = self._bypass_reason(pkt)
+            if reason is not None:
+                self.stats.note_bypass(reason)
+                self._bypass(pkt, reason)
+                continue
+            self.stats.eligible += 1
+            self._aggregate(pkt)
+        # Queue empty: the stack is about to go idle — flush everything.
+        self._flush_all(work_conserving=True)
+
+    # ------------------------------------------------------------------
+    # eligibility (§3.1)
+    # ------------------------------------------------------------------
+    def _bypass_reason(self, pkt: Packet) -> Optional[BypassReason]:
+        if pkt.payload_len == 0:
+            return BypassReason.PURE_ACK if pkt.is_pure_ack else BypassReason.ZERO_LENGTH
+        flags = pkt.tcp.flags
+        if flags & ~(TcpFlags.ACK | TcpFlags.PSH):
+            return BypassReason.SPECIAL_FLAGS
+        if pkt.ip.has_options:
+            return BypassReason.IP_OPTIONS
+        if pkt.ip.is_fragment:
+            return BypassReason.IP_FRAGMENT
+        if not pkt.csum_verified:
+            return BypassReason.NO_CSUM_OFFLOAD
+        if not pkt.ip.checksum_ok():
+            return BypassReason.BAD_IP_CHECKSUM
+        if not pkt.tcp.options.only_timestamp():
+            return BypassReason.TCP_OPTIONS
+        return None
+
+    # ------------------------------------------------------------------
+    # aggregation proper
+    # ------------------------------------------------------------------
+    def _aggregate(self, pkt: Packet) -> None:
+        key = FlowKey.of_packet(pkt)
+        partial = self.table.get(key)
+        if partial is not None:
+            if partial.matches(pkt) and partial.count < self.opt.aggregation_limit:
+                self.cpu.consume(self.costs.aggr_chain_per_fragment, Category.AGGR)
+                partial.add_fragment(pkt)
+                self.stats.fragments_chained += 1
+                self.table.move_to_end(key)
+                if partial.count >= self.opt.aggregation_limit:
+                    self.stats.flush_limit += 1
+                    del self.table[key]
+                    self._finalize(partial)
+                return
+            # Mismatch (gap / ACK regress / option change) or limit edge:
+            # deliver the partial, then start fresh with this packet.
+            self.stats.flush_mismatch += 1
+            del self.table[key]
+            self._finalize(partial)
+        self._start_partial(key, pkt)
+
+    def _start_partial(self, key: FlowKey, pkt: Packet) -> None:
+        if len(self.table) >= self.opt.lookup_table_size:
+            evict_key, evicted = self.table.popitem(last=False)  # LRU
+            self.stats.flush_eviction += 1
+            self._finalize(evicted)
+        # §3.5: the sk_buff is allocated here, once per aggregated packet,
+        # not per network packet.
+        skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+        self.cpu.consume(self.costs.skb_alloc, Category.BUFFER)
+        skb.frag_acks.append(pkt.tcp.ack)
+        skb.frag_end_seqs.append(pkt.end_seq)
+        skb.frag_windows.append(pkt.tcp.window)
+        partial = PartialAggregate(skb)
+        self.table[key] = partial
+        self.stats.peak_table_occupancy = max(self.stats.peak_table_occupancy, len(self.table))
+
+    def _finalize(self, partial: PartialAggregate) -> None:
+        """Rewrite the aggregated packet's header (§3.2) and deliver it."""
+        skb = partial.skb
+        head = skb.head
+        if skb.frags:
+            last = skb.frags[-1]
+            head.ip.total_length = head.ip.header_len + head.tcp.header_len + skb.payload_len
+            head.tcp.ack = last.tcp.ack
+            head.tcp.window = last.tcp.window
+            if last.tcp.options.timestamp is not None:
+                head.tcp.options.timestamp = last.tcp.options.timestamp
+            # Recompute the IP checksum of the rewritten header (for real);
+            # the TCP checksum is NOT recomputed — the packet is marked as
+            # hardware-verified instead (§3.2).
+            head.ip.refresh_checksum()
+            self.cpu.consume(self.costs.aggr_finalize_per_host_packet, Category.AGGR)
+        else:
+            # Nothing was coalesced: no header rewrite, no checksum — just
+            # hand the single packet over (≈ the §5.5 limit-1 ablation).
+            self.cpu.consume(self.costs.aggr_deliver_single, Category.AGGR)
+        skb.csum_verified = True
+        self.stats.aggregates_delivered += 1
+        self.deliver(skb)
+
+    # ------------------------------------------------------------------
+    # bypass and flushing
+    # ------------------------------------------------------------------
+    def _bypass(self, pkt: Packet, reason: BypassReason) -> None:
+        """Deliver ``pkt`` unmodified, after flushing its flow's partial
+        aggregate so per-flow ordering is preserved (§3.1)."""
+        key = FlowKey.of_packet(pkt)
+        partial = self.table.pop(key, None)
+        if partial is not None:
+            self.stats.flush_bypass_ordering += 1
+            self._finalize(partial)
+        skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+        self.cpu.consume(self.costs.skb_alloc, Category.BUFFER)
+        self.stats.singles_delivered += 1
+        self.deliver(skb)
+
+    def _flush_all(self, work_conserving: bool = False) -> None:
+        while self.table:
+            _, partial = self.table.popitem(last=False)
+            if work_conserving:
+                self.stats.flush_work_conserving += 1
+            self._finalize(partial)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AggregationEngine({self.name!r}, limit={self.opt.aggregation_limit},"
+            f" queued={len(self.queue)}, partials={len(self.table)})"
+        )

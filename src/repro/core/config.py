@@ -1,0 +1,37 @@
+"""Configuration of the paper's optimizations (§3, §4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OptimizationConfig:
+    """Which of the paper's optimizations are active."""
+
+    receive_aggregation: bool = False
+    ack_offload: bool = False
+    #: §3.4 modified TCP layer (per-fragment ACK replay and ACK generation).
+    #: On by default whenever aggregation is on; turning it off while
+    #: aggregating reproduces the congestion-control undercounting bug the
+    #: paper's TCP-layer changes exist to fix (ablation only).
+    modified_tcp: bool = True
+    #: Maximum network packets coalesced into one host packet (§3.3).  The
+    #: paper determines 20 experimentally (Figure 11).
+    aggregation_limit: int = 20
+    #: Entries in the partial-aggregate lookup table (§3.5: "a small lookup
+    #: table").  Eviction flushes the least-recently-used partial packet.
+    lookup_table_size: int = 8
+
+    @classmethod
+    def baseline(cls) -> "OptimizationConfig":
+        return cls(receive_aggregation=False, ack_offload=False)
+
+    @classmethod
+    def optimized(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
+        return cls(receive_aggregation=True, ack_offload=True, aggregation_limit=aggregation_limit)
+
+    @classmethod
+    def aggregation_only(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
+        """Receive Aggregation without Acknowledgment Offload (§5.1)."""
+        return cls(receive_aggregation=True, ack_offload=False, aggregation_limit=aggregation_limit)

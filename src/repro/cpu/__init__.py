@@ -1,0 +1,27 @@
+"""CPU cycle-cost modelling and profiling.
+
+This package is the core substitution for the paper's hardware testbed (see
+DESIGN.md §2).  Every operation the simulated network stack performs charges
+cycles to a named category on a :class:`~repro.cpu.cpu.Cpu`; the
+:class:`~repro.cpu.profiler.Profiler` plays the role OProfile plays in the
+paper, and the :class:`~repro.cpu.cache.CacheModel` reproduces the
+prefetching mechanism of paper §2.1.
+"""
+
+from repro.cpu.cache import CacheModel, PrefetchMode
+from repro.cpu.categories import Category
+from repro.cpu.costmodel import CostModel
+from repro.cpu.cpu import Cpu
+from repro.cpu.locks import LockModel
+from repro.cpu.profiler import Profiler, ProfileSnapshot
+
+__all__ = [
+    "CacheModel",
+    "PrefetchMode",
+    "Category",
+    "CostModel",
+    "Cpu",
+    "LockModel",
+    "Profiler",
+    "ProfileSnapshot",
+]

@@ -1,0 +1,53 @@
+"""Profiling categories.
+
+These are the exact category names the paper uses on its figure axes:
+
+* Figures 3/4/8/9 (native Linux): ``per-byte``, ``rx``, ``tx``, ``buffer``,
+  ``non-proto``, ``driver``, ``misc``, plus ``aggr`` in the optimized runs.
+* Figures 6/10 (Xen): ``per-byte``, ``non-proto``, ``netback``, ``netfront``,
+  ``tcp rx``, ``tcp tx``, ``buffer``, ``driver``, ``xen``, ``misc``, ``aggr``.
+"""
+
+from __future__ import annotations
+
+
+class Category:
+    """String constants for profiler categories (paper figure axes)."""
+
+    PER_BYTE = "per-byte"
+    RX = "rx"
+    TX = "tx"
+    BUFFER = "buffer"
+    NON_PROTO = "non-proto"
+    DRIVER = "driver"
+    MISC = "misc"
+    AGGR = "aggr"
+    # Xen-specific categories (figures 6 and 10).
+    NETBACK = "netback"
+    NETFRONT = "netfront"
+    TCP_RX = "tcp rx"
+    TCP_TX = "tcp tx"
+    XEN = "xen"
+
+    #: Axis order for the native-Linux breakdown figures (3, 4, 8, 9).
+    NATIVE_ORDER = (PER_BYTE, RX, TX, BUFFER, NON_PROTO, DRIVER, MISC, AGGR)
+    #: Axis order for the Xen breakdown figures (6, 10).
+    XEN_ORDER = (
+        PER_BYTE,
+        NON_PROTO,
+        NETBACK,
+        NETFRONT,
+        TCP_RX,
+        TCP_TX,
+        BUFFER,
+        DRIVER,
+        AGGR,
+        XEN,
+        MISC,
+    )
+
+    #: The per-packet group whose reduction factor the paper reports for
+    #: native Linux (§5.1: "total overhead of all per-packet components").
+    NATIVE_PER_PACKET_GROUP = (RX, TX, BUFFER, NON_PROTO)
+    #: The per-packet group for the Xen analysis (§5.1, figure 10).
+    XEN_PER_PACKET_GROUP = (NON_PROTO, NETBACK, NETFRONT, TCP_RX, TCP_TX, BUFFER)

@@ -1,0 +1,136 @@
+"""The CPU as a serial simulation resource.
+
+A :class:`Cpu` executes *tasks* (Python callables representing ISR bodies,
+softirq runs, syscall work) one at a time in FIFO order.  While a task runs
+it calls :meth:`Cpu.consume` to charge cycles to a profiler category; the
+consumed cycles advance the CPU's ``busy_until`` clock, so the *simulated
+duration* of a task equals the cycles its routines charged.  Throughput
+saturation, queueing delay, and utilization all fall out of this.
+
+SMP lock inflation (:class:`~repro.cpu.locks.LockModel`) is applied at
+consumption time, so calling code charges *nominal* uniprocessor cycles and
+the configuration decides the real cost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.cpu.costmodel import CostModel
+from repro.cpu.locks import LockModel
+from repro.cpu.profiler import Profiler
+from repro.sim.engine import Event, Simulator
+
+
+class Cpu:
+    """A single serial processor with cycle accounting.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    freq_hz:
+        Clock frequency (the paper's server is a 3.0 GHz Xeon).
+    costs:
+        The cycle cost model routines consult.
+    locks:
+        SMP lock-inflation model (disabled for UP).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        freq_hz: float = 3.0e9,
+        costs: Optional[CostModel] = None,
+        locks: Optional[LockModel] = None,
+        name: str = "cpu0",
+    ):
+        self.sim = sim
+        self.freq_hz = freq_hz
+        self.costs = costs if costs is not None else CostModel()
+        self.locks = locks if locks is not None else LockModel()
+        self.name = name
+        self.profiler = Profiler()
+
+        self.busy_until: float = 0.0
+        self.busy_cycles: float = 0.0
+        self._tasks: Deque[Tuple[Callable[..., Any], tuple]] = deque()
+        self._drain_event: Optional[Event] = None
+        self._running_task = False
+
+    # ------------------------------------------------------------------
+    # task execution
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Queue a task; it runs when the CPU is free, FIFO."""
+        self._tasks.append((fn, args))
+        self._schedule_drain()
+
+    def _schedule_drain(self) -> None:
+        if self._drain_event is not None or self._running_task or not self._tasks:
+            return
+        start = max(self.sim.now, self.busy_until)
+        self._drain_event = self.sim.at(start, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_event = None
+        if not self._tasks:
+            return
+        fn, args = self._tasks.popleft()
+        self._running_task = True
+        if self.busy_until < self.sim.now:
+            self.busy_until = self.sim.now
+        try:
+            fn(*args)
+        finally:
+            self._running_task = False
+        self._schedule_drain()
+
+    def consume(self, cycles: float, category: str) -> None:
+        """Charge ``cycles`` (nominal) to ``category`` and advance the clock.
+
+        SMP lock inflation is applied here.
+        """
+        if cycles <= 0:
+            return
+        real = self.locks.inflate(category, cycles)
+        self.profiler.add(category, real)
+        self.busy_cycles += real
+        self.busy_until += real / self.freq_hz
+
+    # ------------------------------------------------------------------
+    # completion-time helpers
+    # ------------------------------------------------------------------
+    @property
+    def now_done(self) -> float:
+        """The simulation time at which work consumed so far completes."""
+        return max(self.busy_until, self.sim.now)
+
+    def defer(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule an effect at the completion time of work consumed so far.
+
+        Used for "the packet hits the wire once the tx routine finishes".
+        """
+        return self.sim.at(self.now_done, fn, *args)
+
+    def idle(self) -> bool:
+        """True when no task is running or queued and the clock has caught up."""
+        return (
+            not self._running_task
+            and not self._tasks
+            and self.busy_until <= self.sim.now
+        )
+
+    def utilization(self, window_cycles_start: float, window_seconds: float) -> float:
+        """Busy fraction over a window that started at ``window_cycles_start``
+        busy-cycles and lasted ``window_seconds``."""
+        if window_seconds <= 0:
+            return 0.0
+        used = self.busy_cycles - window_cycles_start
+        return min(1.0, used / (window_seconds * self.freq_hz))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cpu({self.name!r}, {self.freq_hz / 1e9:.1f} GHz, busy_until={self.busy_until:.6f})"

@@ -1,0 +1,108 @@
+"""OProfile-analogue: per-category cycle accounting.
+
+Every simulated kernel routine charges its cycles here, tagged with one of
+the :class:`~repro.cpu.categories.Category` names.  Experiments snapshot the
+profiler before and after a measurement window and report
+*cycles-per-network-packet* breakdowns — the Y axis of the paper's figures
+3, 4, 6, 8, 9, 10, and 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Tuple
+
+
+@dataclass
+class ProfileSnapshot:
+    """Immutable copy of profiler state at one instant."""
+
+    cycles: Dict[str, float]
+    network_packets: int
+    host_packets: int
+    acks_sent: int
+    time: float
+
+    def diff(self, earlier: "ProfileSnapshot") -> "ProfileSnapshot":
+        """Counters accumulated between ``earlier`` and this snapshot."""
+        keys = set(self.cycles) | set(earlier.cycles)
+        return ProfileSnapshot(
+            cycles={k: self.cycles.get(k, 0.0) - earlier.cycles.get(k, 0.0) for k in keys},
+            network_packets=self.network_packets - earlier.network_packets,
+            host_packets=self.host_packets - earlier.host_packets,
+            acks_sent=self.acks_sent - earlier.acks_sent,
+            time=self.time - earlier.time,
+        )
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    def cycles_per_packet(self, order: Iterable[str]) -> Dict[str, float]:
+        """Per-network-packet breakdown in the given category order."""
+        n = max(self.network_packets, 1)
+        return {cat: self.cycles.get(cat, 0.0) / n for cat in order}
+
+    def share(self, category: str) -> float:
+        """Fraction of total cycles spent in ``category`` (0..1)."""
+        total = self.total_cycles
+        if total <= 0:
+            return 0.0
+        return self.cycles.get(category, 0.0) / total
+
+    def group_cycles_per_packet(self, categories: Iterable[str]) -> float:
+        n = max(self.network_packets, 1)
+        return sum(self.cycles.get(c, 0.0) for c in categories) / n
+
+
+class Profiler:
+    """Accumulates cycles per category plus packet counters."""
+
+    def __init__(self) -> None:
+        self.cycles: Dict[str, float] = {}
+        #: Network-level data packets that entered receive processing.
+        self.network_packets = 0
+        #: Host-level packets delivered to the TCP layer (≤ network_packets
+        #: when aggregation is on; their ratio is the aggregation degree).
+        self.host_packets = 0
+        #: ACK packets that left the host on the wire.
+        self.acks_sent = 0
+
+    def add(self, category: str, cycles: float) -> None:
+        self.cycles[category] = self.cycles.get(category, 0.0) + cycles
+
+    def count_network_packet(self, n: int = 1) -> None:
+        self.network_packets += n
+
+    def count_host_packet(self, n: int = 1) -> None:
+        self.host_packets += n
+
+    def count_ack_sent(self, n: int = 1) -> None:
+        self.acks_sent += n
+
+    def snapshot(self, time: float) -> ProfileSnapshot:
+        return ProfileSnapshot(
+            cycles=dict(self.cycles),
+            network_packets=self.network_packets,
+            host_packets=self.host_packets,
+            acks_sent=self.acks_sent,
+            time=time,
+        )
+
+    @property
+    def aggregation_degree(self) -> float:
+        """Average network packets per host packet (1.0 when no aggregation)."""
+        if self.host_packets == 0:
+            return 0.0
+        return self.network_packets / self.host_packets
+
+    def merged(self, others: Iterable["Profiler"]) -> ProfileSnapshot:
+        """Combine this profiler with others into one snapshot (SMP sums)."""
+        merged = Profiler()
+        for prof in [self, *others]:
+            for cat, cyc in prof.cycles.items():
+                merged.add(cat, cyc)
+            merged.network_packets += prof.network_packets
+            merged.host_packets += prof.host_packets
+            merged.acks_sent += prof.acks_sent
+        return merged.snapshot(0.0)

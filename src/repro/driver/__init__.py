@@ -1,0 +1,5 @@
+"""Device driver models."""
+
+from repro.driver.e1000 import E1000Driver
+
+__all__ = ["E1000Driver"]

@@ -1,0 +1,24 @@
+"""Experiment harnesses: one module per paper figure/table.
+
+Use the registry to regenerate any evaluation artifact::
+
+    from repro.experiments import run_experiment, REGISTRY
+    result = run_experiment("figure7", quick=True)
+    print(result.to_text())
+
+Every result carries the paper's expected numbers alongside the measured
+ones; EXPERIMENTS.md is generated from these.
+"""
+
+from repro.experiments.base import ExperimentResult, STANDARD_DURATION, STANDARD_WARMUP, window
+from repro.experiments.runner import REGISTRY, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "REGISTRY",
+    "run_experiment",
+    "run_all",
+    "window",
+    "STANDARD_DURATION",
+    "STANDARD_WARMUP",
+]

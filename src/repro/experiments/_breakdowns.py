@@ -1,0 +1,53 @@
+"""Shared machinery for the cycles-per-packet breakdown figures (3/4/6/8/9/10)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.config import OptimizationConfig
+from repro.cpu.categories import Category
+from repro.host.configs import SystemConfig
+from repro.workloads.results import ThroughputResult
+from repro.workloads.stream import run_stream_experiment
+
+
+def native_axis() -> Sequence[str]:
+    return Category.NATIVE_ORDER
+
+
+def xen_axis() -> Sequence[str]:
+    return Category.XEN_ORDER
+
+
+def breakdown_rows(
+    results: Dict[str, ThroughputResult],
+    axis: Sequence[str],
+) -> List[Dict[str, object]]:
+    """Rows {category, <label>: cycles/packet} for each axis category."""
+    rows: List[Dict[str, object]] = []
+    for cat in axis:
+        row: Dict[str, object] = {"category": cat}
+        nonzero = False
+        for label, result in results.items():
+            value = result.breakdown.get(cat, 0.0)
+            row[label] = value
+            nonzero = nonzero or value > 0
+        if nonzero:
+            rows.append(row)
+    return rows
+
+
+def run_pair(
+    config: SystemConfig,
+    duration: float,
+    warmup: float,
+) -> Dict[str, ThroughputResult]:
+    """Baseline and optimized runs of the streaming benchmark on one system."""
+    return {
+        "Original": run_stream_experiment(
+            config, OptimizationConfig.baseline(), duration=duration, warmup=warmup
+        ),
+        "Optimized": run_stream_experiment(
+            config, OptimizationConfig.optimized(), duration=duration, warmup=warmup
+        ),
+    }

@@ -1,0 +1,50 @@
+"""Common result type and measurement windows for the experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.analysis.reporting import render_table
+
+#: Measurement window (seconds of simulated time) for full-fidelity runs.
+STANDARD_DURATION = 0.15
+STANDARD_WARMUP = 0.10
+#: Shorter windows for quick runs (tests, CI, pytest-benchmark).
+QUICK_DURATION = 0.05
+QUICK_WARMUP = 0.05
+
+
+def window(quick: bool) -> Tuple[float, float]:
+    """(duration, warmup) for the requested fidelity."""
+    if quick:
+        return QUICK_DURATION, QUICK_WARMUP
+    return STANDARD_DURATION, STANDARD_WARMUP
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure, with the paper's expectation."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    columns: List[str]
+    rows: List[Dict[str, object]]
+    #: The corresponding numbers from the paper, keyed however the
+    #: experiment documents (used by EXPERIMENTS.md and the band tests).
+    paper_expected: Dict[str, object] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        body = render_table(self.columns, self.rows, title=f"{self.experiment_id}: {self.title}")
+        if self.notes:
+            body += f"\n\n{self.notes}"
+        return body
+
+    def row(self, **match) -> Dict[str, object]:
+        """The first row whose fields match ``match`` (for tests)."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match!r}")

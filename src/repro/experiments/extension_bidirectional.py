@@ -1,0 +1,105 @@
+"""Extension: bidirectional traffic — §3.4's fix, and aggregation's limits.
+
+For a pure receive workload, aggregation's congestion-control change is
+invisible — the receive host sends almost nothing.  With *bidirectional*
+bulk traffic two effects appear, and this experiment measures both:
+
+1. **Pure-ACK interleaving (an aggregation limit the paper doesn't
+   quantify).**  The peer's pure ACKs for the reverse stream interleave
+   with its data packets; each one correctly bypasses aggregation and
+   flushes the flow's partial aggregate (§3.1 ordering), capping the
+   achievable aggregation degree well below the unidirectional ~11 —
+   exactly the behaviour of real GRO under bidirectional load.
+
+2. **§3.4 case 1 in context.**  Reno counts ACK events, and aggregation
+   collapses the piggybacked ACK numbers to one per aggregate; the modified
+   TCP layer replays them per fragment (``frag acks/s`` below).  The
+   measured cwnd-update rates, however, come out nearly equal — because in
+   saturated bidirectional bulk the peer is window-limited at most ACK
+   instants and must emit *pure* ACKs, which bypass aggregation and clock
+   the window in both variants.  The fix's value here is exactness (the
+   unit suite proves behavioural equivalence with an unaggregated
+   receiver), not steady-state throughput — consistent with the paper
+   presenting §3.4 as a correctness change rather than an optimization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import OptimizationConfig
+from repro.experiments.base import ExperimentResult
+from repro.host.client import ClientHost
+from repro.host.configs import linux_up_config
+from repro.net.addresses import ip_from_str
+from repro.sim.engine import Simulator
+from repro.tcp.connection import TcpConfig
+from repro.tcp.source import InfiniteSource
+from repro.workloads.stream import make_receiver
+
+PAPER_EXPECTED = {
+    "bidirectional_lowers_aggregation_degree": True,
+    "modified_tcp_is_correctness_not_throughput": True,
+}
+
+_WARMUP_S = 0.01
+_MEASURE_S = 0.05
+
+
+def _run_variant(modified_tcp: bool, quick: bool) -> dict:
+    sim = Simulator()
+    opt = OptimizationConfig.optimized()
+    opt.modified_tcp = modified_tcp
+    config = dataclasses.replace(linux_up_config(), n_nics=1)
+    machine = make_receiver(sim, config, opt, ip=ip_from_str("10.0.0.1"))
+
+    def on_accept(server_sock) -> None:
+        server_sock.conn.attach_source(InfiniteSource(materialize=False, seed=9))
+        server_sock.conn.app_wrote()
+
+    machine.listen(5001, on_accept)
+    client = ClientHost(sim, ip_from_str("10.0.1.1"))
+    machine.add_client(client)
+    sock = client.connect(machine.ip, 5001, config=TcpConfig(mss=config.mss))
+    sock.conn.attach_source(InfiniteSource(materialize=False, seed=8))
+
+    sim.run(until=_WARMUP_S)
+    server_conn = next(iter(machine.kernel.connections.values()))
+    updates0 = server_conn.stats.cwnd_updates
+    frag0 = server_conn.stats.frag_acks_processed
+    measure = _MEASURE_S / 2 if quick else _MEASURE_S
+    sim.run(until=_WARMUP_S + measure)
+    return {
+        "cwnd updates/s": (server_conn.stats.cwnd_updates - updates0) / measure,
+        "frag acks/s": (server_conn.stats.frag_acks_processed - frag0) / measure,
+        "reverse Mb/s": sock.bytes_received * 8 / sim.now / 1e6,
+        "aggregation degree": machine.profiler.aggregation_degree,
+    }
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    with_fix = _run_variant(modified_tcp=True, quick=quick)
+    without_fix = _run_variant(modified_tcp=False, quick=quick)
+    rows = [
+        {"TCP layer": "modified (§3.4)", **with_fix},
+        {"TCP layer": "stock (ablation)", **without_fix},
+    ]
+    ratio = with_fix["cwnd updates/s"] / max(1.0, without_fix["cwnd updates/s"])
+    return ExperimentResult(
+        experiment_id="extension_bidirectional",
+        title="Bidirectional traffic: per-fragment cwnd accounting (§3.4)",
+        paper_reference="§3.4 case 1 / §3.1 ordering",
+        columns=["TCP layer", "cwnd updates/s", "frag acks/s",
+                 "reverse Mb/s", "aggregation degree"],
+        rows=rows,
+        paper_expected=PAPER_EXPECTED,
+        notes=(
+            f"Bidirectional aggregation degree is only "
+            f"{with_fix['aggregation degree']:.1f} (vs ~11 unidirectional): "
+            "the peer's pure ACKs flush partial aggregates (§3.1 ordering). "
+            f"cwnd-update rates are nearly equal ({ratio:.2f}x) because those "
+            "same pure ACKs clock the window in both variants — §3.4's value "
+            "in this regime is protocol exactness, not throughput (see "
+            "module docstring)."
+        ),
+    )

@@ -1,0 +1,73 @@
+"""Extension: interrupt moderation vs aggregation and latency (paper §6).
+
+The paper notes the kinship between Receive Aggregation and interrupt
+throttling.  This study sweeps the ITR interval and reports two findings:
+
+1. **Throughput-side robustness.**  Aggregation's benefit barely depends on
+   the ITR setting: even with moderation *disabled* (ITR=0), the CPU is the
+   bottleneck under load, packets queue in the rx ring while the softirq
+   runs, and the drained batches still feed the aggregator — the NAPI
+   effect.  Moderation shapes *when* batches form, saturation guarantees
+   that they form.
+
+2. **Latency-side cost of fixed moderation.**  With a *fixed* (non-adaptive)
+   ITR, request/response transactions eat up to a full ITR interval of
+   delay per hop; adaptive moderation (e1000 AIM, modelled here) interrupts
+   immediately for sparse traffic and keeps RR latency flat — the reason
+   both real NICs and this model default to adaptive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import OptimizationConfig
+from repro.experiments.base import ExperimentResult, window
+from repro.host.configs import linux_up_config
+from repro.workloads.request_response import run_rr_experiment
+from repro.workloads.stream import run_stream_experiment
+
+ITR_SWEEP_US = (0, 50, 100, 250, 500)
+QUICK_SWEEP_US = (0, 100, 250)
+
+PAPER_EXPECTED = {
+    "aggregation_robust_to_itr": True,
+    "fixed_moderation_taxes_latency": True,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    duration, warmup = window(quick)
+    rows = []
+    for itr_us in (QUICK_SWEEP_US if quick else ITR_SWEEP_US):
+        cfg = dataclasses.replace(linux_up_config(), itr_interval_s=itr_us * 1e-6)
+        stream = run_stream_experiment(cfg, OptimizationConfig.optimized(),
+                                       duration=duration, warmup=warmup)
+        fixed_cfg = dataclasses.replace(cfg, adaptive_itr=False)
+        rr_fixed = run_rr_experiment(fixed_cfg, OptimizationConfig.optimized(),
+                                     duration=duration)
+        rr_adaptive = run_rr_experiment(cfg, OptimizationConfig.optimized(),
+                                        duration=duration)
+        rows.append({
+            "ITR us": itr_us,
+            "aggregation degree": stream.aggregation_degree,
+            "cycles/packet": stream.cycles_per_packet,
+            "throughput Mb/s": stream.throughput_mbps,
+            "RR/s fixed ITR": rr_fixed.transactions_per_sec,
+            "RR/s adaptive": rr_adaptive.transactions_per_sec,
+        })
+    return ExperimentResult(
+        experiment_id="extension_itr",
+        title="Interrupt moderation: aggregation robustness and latency cost",
+        paper_reference="§6 (related work: interrupt throttling)",
+        columns=["ITR us", "aggregation degree", "cycles/packet",
+                 "throughput Mb/s", "RR/s fixed ITR", "RR/s adaptive"],
+        rows=rows,
+        paper_expected=PAPER_EXPECTED,
+        notes=(
+            "Bulk throughput and aggregation degree are robust across ITR "
+            "settings (CPU-induced ring queueing creates batches even at "
+            "ITR=0), while fixed moderation taxes request/response rates as "
+            "the interval grows; adaptive moderation avoids the tax."
+        ),
+    )

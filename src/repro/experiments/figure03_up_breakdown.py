@@ -1,0 +1,52 @@
+"""Figure 3: breakdown of receive-processing overheads, uniprocessor baseline.
+
+Paper result (shares of total cycles/packet): driver ~21%, per-packet stack
+routines (rx+tx+buffer+non-proto) ~46%, per-byte copy ~17%; rx+tx alone is
+only ~21% — i.e. most of the per-packet overhead is NOT protocol processing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import OptimizationConfig
+from repro.cpu.categories import Category
+from repro.experiments.base import ExperimentResult, window
+from repro.experiments._breakdowns import breakdown_rows, native_axis
+from repro.host.configs import linux_up_config
+from repro.workloads.stream import run_stream_experiment
+
+PAPER_EXPECTED = {
+    "driver_share": 0.21,
+    "per_byte_share": 0.17,
+    "rx_tx_share": 0.21,
+    "buffer_nonproto_share": 0.25,
+    "total_cycles_per_packet": 10400,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    duration, warmup = window(quick)
+    result = run_stream_experiment(
+        linux_up_config(), OptimizationConfig.baseline(), duration=duration, warmup=warmup
+    )
+    rows = breakdown_rows({"cycles/packet": result}, native_axis())
+    shares = {
+        "driver": result.share(Category.DRIVER),
+        "per-byte": result.share(Category.PER_BYTE),
+        "rx+tx": result.share(Category.RX) + result.share(Category.TX),
+        "buffer+non-proto": result.share(Category.BUFFER) + result.share(Category.NON_PROTO),
+    }
+    notes = (
+        f"Measured shares: driver {shares['driver']:.1%}, per-byte {shares['per-byte']:.1%}, "
+        f"rx+tx {shares['rx+tx']:.1%}, buffer+non-proto {shares['buffer+non-proto']:.1%}; "
+        f"total {result.cycles_per_packet:.0f} cycles/packet. "
+        "Paper: 21% / 17% / 21% / 25%."
+    )
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="Receive processing overhead breakdown (UP, baseline)",
+        paper_reference="Figure 3 / §2.2",
+        columns=["category", "cycles/packet"],
+        rows=rows,
+        paper_expected=PAPER_EXPECTED,
+        notes=notes,
+    )

@@ -1,0 +1,66 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablation_limit_one,
+    extension_bidirectional,
+    extension_hw_lro,
+    extension_itr,
+    extension_jumbo,
+    extension_load_sensitivity,
+    extension_tso,
+    figure01_prefetching,
+    figure02_systems,
+    figure03_up_breakdown,
+    figure04_smp_breakdown,
+    figure06_xen_breakdown,
+    figure07_overall,
+    figure08_up_opt_breakdown,
+    figure09_smp_opt_breakdown,
+    figure10_xen_opt_breakdown,
+    figure11_aggregation_limit,
+    figure12_scalability,
+    table1_latency,
+)
+from repro.experiments.base import ExperimentResult
+
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure01_prefetching.run,
+    "figure2": figure02_systems.run,
+    "figure3": figure03_up_breakdown.run,
+    "figure4": figure04_smp_breakdown.run,
+    "figure6": figure06_xen_breakdown.run,
+    "figure7": figure07_overall.run,
+    "figure8": figure08_up_opt_breakdown.run,
+    "figure9": figure09_smp_opt_breakdown.run,
+    "figure10": figure10_xen_opt_breakdown.run,
+    "figure11": figure11_aggregation_limit.run,
+    "figure12": figure12_scalability.run,
+    "table1": table1_latency.run,
+    "ablation_limit1": ablation_limit_one.run,
+    "extension_hw_lro": extension_hw_lro.run,
+    "extension_jumbo": extension_jumbo.run,
+    "extension_itr": extension_itr.run,
+    "extension_bidirectional": extension_bidirectional.run,
+    "extension_load_sensitivity": extension_load_sensitivity.run,
+    "extension_tso": extension_tso.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"figure7"``)."""
+    try:
+        fn = REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
+        ) from None
+    return fn(quick=quick)
+
+
+def run_all(quick: bool = True) -> List[ExperimentResult]:
+    """Run every experiment; quick fidelity by default."""
+    return [run_experiment(eid, quick=quick) for eid in REGISTRY]

@@ -1,0 +1,31 @@
+"""Host assembly: machines, kernels, and calibrated system configurations.
+
+* :mod:`repro.host.client` — cost-free endpoint hosts (the paper's client
+  machines, which are never the bottleneck).
+* :mod:`repro.host.kernel` — the costed receive-side kernel: softirq
+  processing, socket layer, copy-to-user, all charging CPU cycles.
+* :mod:`repro.host.machine` — the receive host under test: CPUs + NICs +
+  drivers + kernel, in baseline or optimized configuration.
+* :mod:`repro.host.configs` — the calibrated system configurations used by
+  every experiment (Linux UP, Linux SMP, Xen guest).
+"""
+
+from repro.host.client import ClientHost
+from repro.host.configs import (
+    OptimizationConfig,
+    SystemConfig,
+    linux_smp_config,
+    linux_up_config,
+    xen_config,
+)
+from repro.host.machine import ReceiverMachine
+
+__all__ = [
+    "ClientHost",
+    "ReceiverMachine",
+    "SystemConfig",
+    "OptimizationConfig",
+    "linux_up_config",
+    "linux_smp_config",
+    "xen_config",
+]

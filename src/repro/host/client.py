@@ -1,0 +1,126 @@
+"""Cost-free endpoint hosts (the paper's sender/client machines).
+
+The paper's evaluation uses one client machine per NIC, each pushing (or
+exchanging) data with the server under test; the clients are never the
+bottleneck.  :class:`ClientHost` therefore runs the full TCP machine but
+charges no CPU cycles: packets are processed synchronously on arrival and
+transmitted straight onto the host's link, which paces them at line rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.timers import SimTimers
+from repro.tcp.connection import AckEvent, TcpConfig, TcpConnection
+from repro.tcp.socket import TcpSocket
+
+
+class ClientHost:
+    """An endpoint host with demultiplexing, listening, and active opens."""
+
+    def __init__(self, sim: Simulator, ip: int, name: str = "client", iss_base: int = 1000):
+        self.sim = sim
+        self.ip = ip
+        self.name = name
+        self.timers = SimTimers(sim)
+        self.tx_link: Optional[Link] = None
+        self.connections: Dict[FlowKey, TcpConnection] = {}
+        self.listeners: Dict[int, Callable[[TcpConnection], TcpSocket]] = {}
+        self._next_port = 10000
+        self._iss = iss_base
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_tx(self, link: Link) -> None:
+        self.tx_link = link
+
+    def allocate_port(self) -> int:
+        port = self._next_port
+        self._next_port += 1
+        return port
+
+    def _next_iss(self) -> int:
+        self._iss += 64000
+        return self._iss & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        dst_ip: int,
+        dst_port: int,
+        config: Optional[TcpConfig] = None,
+        src_port: Optional[int] = None,
+    ) -> TcpSocket:
+        """Active open toward (dst_ip, dst_port); returns the app socket."""
+        key = FlowKey(self.ip, src_port or self.allocate_port(), dst_ip, dst_port)
+        conn = TcpConnection(
+            key=key,
+            config=config or TcpConfig(),
+            clock=lambda: self.sim.now,
+            timers=self.timers,
+            transport=self,
+            iss=self._next_iss(),
+            name=f"{self.name}:{key.src_port}",
+        )
+        self.connections[key] = conn
+        sock = TcpSocket(conn)
+        conn.connect()
+        return sock
+
+    def listen(self, port: int, on_accept: Callable[[TcpConnection], TcpSocket]) -> None:
+        """Register a passive-open factory for ``port``.
+
+        ``on_accept(conn)`` must create and return the application socket
+        for the new connection.
+        """
+        self.listeners[port] = on_accept
+
+    # ------------------------------------------------------------------
+    # packet I/O
+    # ------------------------------------------------------------------
+    def rx(self, pkt: Packet) -> None:
+        """Link sink: demultiplex an inbound packet to its connection."""
+        if pkt.ip.dst_ip != self.ip:
+            return
+        key = FlowKey(pkt.ip.dst_ip, pkt.tcp.dst_port, pkt.ip.src_ip, pkt.tcp.src_port)
+        conn = self.connections.get(key)
+        if conn is None:
+            factory = self.listeners.get(pkt.tcp.dst_port)
+            if factory is None:
+                return  # no listener: silently drop (no RST generation)
+            conn = TcpConnection(
+                key=key,
+                config=TcpConfig(),
+                clock=lambda: self.sim.now,
+                timers=self.timers,
+                transport=self,
+                iss=self._next_iss(),
+                name=f"{self.name}:accept:{key.src_port}",
+            )
+            conn.passive_open()
+            self.connections[key] = conn
+            factory(conn)
+        conn.on_segment(pkt)
+
+    # ------------------------------------------------------------------
+    # transport interface used by TcpConnection
+    # ------------------------------------------------------------------
+    def send_packet(self, conn: TcpConnection, pkt: Packet) -> None:
+        if self.tx_link is None:
+            raise RuntimeError(f"{self.name}: no tx link attached")
+        self.tx_link.send(pkt)
+
+    def send_acks(self, conn: TcpConnection, event: AckEvent) -> None:
+        """Cost-free hosts emit one real ACK packet per batch entry."""
+        if self.tx_link is None:
+            raise RuntimeError(f"{self.name}: no tx link attached")
+        for ack in event.acks:
+            self.tx_link.send(conn.build_ack_packet(ack, event))

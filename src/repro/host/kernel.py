@@ -1,0 +1,354 @@
+"""The costed receive-side kernel of the host under test.
+
+Everything the paper profiles happens here or in the driver: softirq
+processing, IP/TCP layer work, buffer management, ACK transmission, the
+socket layer, copy-to-user, and wakeups.  Each operation charges cycles on
+the host CPU in the category the paper's figures use.
+
+The kernel also implements the transport interface of
+:class:`repro.tcp.connection.TcpConnection`, which is where Acknowledgment
+Offload plugs in: a batch of consecutive ACKs becomes a single template-ACK
+sk_buff (§4) when the optimization is enabled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.buffers.pool import BufferPool
+from repro.buffers.skbuff import SkBuff
+from repro.core.ack_offload import build_template_ack_skb
+from repro.cpu.categories import Category
+from repro.cpu.cpu import Cpu
+from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.tcp.connection import AckEvent, TcpConfig, TcpConnection
+
+#: Bytes one recv() syscall consumes (netperf-style 16 KiB reads).
+RECV_CHUNK = 16384
+
+
+class KernelTimers:
+    """TCP timers that fire as CPU tasks (serialized with packet work)."""
+
+    def __init__(self, sim: Simulator, cpu: Cpu):
+        self.sim = sim
+        self.cpu = cpu
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> "_KernelTimerHandle":
+        return _KernelTimerHandle(self, delay, fn)
+
+
+class _KernelTimerHandle:
+    __slots__ = ("timers", "fn", "cancelled", "event")
+
+    def __init__(self, timers: KernelTimers, delay: float, fn: Callable[[], None]):
+        self.timers = timers
+        self.fn = fn
+        self.cancelled = False
+        self.event = timers.sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self.cancelled:
+            self.timers.cpu.submit(self._run)
+
+    def _run(self) -> None:
+        if not self.cancelled:
+            self.fn()
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        self.event.cancel()
+
+
+class KernelSocket:
+    """Socket endpoint on the host under test.
+
+    Received data sits in ``pending`` (owned by sk_buffs conceptually) until
+    the end-of-softirq application drain copies it to user space — at which
+    point the kernel charges wakeup/syscall/copy cycles and invokes the
+    application callback.
+    """
+
+    def __init__(self, kernel: "Kernel", conn: TcpConnection):
+        self.kernel = kernel
+        self.conn = conn
+        conn.app = self
+        self.pending: List[Tuple[Optional[bytes], int]] = []
+        self.pending_bytes = 0
+        #: (bytes, extra_fragments) per delivered skb — drives copy costs.
+        self.pending_items: List[Tuple[int, int]] = []
+        self.bytes_received = 0
+        self.established = False
+        self.remote_closed = False
+        self.closed = False
+        #: Application callback: fn(socket, payload_bytes_or_None, length).
+        self.on_data_cb: Optional[Callable[["KernelSocket", Optional[bytes], int], None]] = None
+        self.on_established_cb: Optional[Callable[["KernelSocket"], None]] = None
+
+    # ---- connection callbacks (run inside conn.on_segment) ----
+    def on_established(self, conn: TcpConnection) -> None:
+        self.established = True
+        if self.on_established_cb is not None:
+            self.on_established_cb(self)
+
+    def on_data(self, conn: TcpConnection, payload: Optional[bytes], length: int) -> None:
+        self.pending.append((payload, length))
+        self.pending_bytes += length
+
+    def on_remote_close(self, conn: TcpConnection) -> None:
+        self.remote_closed = True
+
+    def on_closed(self, conn: TcpConnection) -> None:
+        self.closed = True
+
+    # ---- application side ----
+    def send(self, data: bytes) -> None:
+        """Application write: queues data and kicks the (costed) tx path."""
+        from repro.tcp.source import ByteSource
+
+        if self.conn.source is None:
+            self.conn.attach_source(ByteSource())
+        self.conn.source.write(data)
+        self.conn.app_wrote()
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+class Kernel:
+    """The receive host's network stack, socket layer, and app drain."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cpu: Cpu,
+        config: SystemConfig,
+        opt: OptimizationConfig,
+        pool: Optional[BufferPool] = None,
+        name: str = "kernel",
+    ):
+        self.sim = sim
+        self.cpu = cpu
+        self.config = config
+        self.opt = opt
+        self.pool = pool if pool is not None else BufferPool(name=f"{name}-skb")
+        self.name = name
+        self.timers = KernelTimers(sim, cpu)
+
+        self.connections: Dict[FlowKey, TcpConnection] = {}
+        self.sockets: Dict[FlowKey, KernelSocket] = {}
+        self.listeners: Dict[int, Callable[[KernelSocket], None]] = {}
+        self.routes: Dict[int, object] = {}  # dst ip -> driver
+        self.ip: int = 0
+        self._iss = 5_000_000
+        self._dirty_sockets: List[KernelSocket] = []
+
+        self.aggregator = None  # set by the machine when aggregation is on
+        #: Extra keyword overrides applied to every accepted connection's
+        #: TcpConfig (e.g. a larger rcv_buf for long-fat-pipe experiments).
+        self.tcp_overrides: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # configuration / wiring
+    # ------------------------------------------------------------------
+    def set_ip(self, ip: int) -> None:
+        self.ip = ip
+
+    def register_route(self, dst_ip: int, driver) -> None:
+        self.routes[dst_ip] = driver
+
+    def listen(self, port: int, on_accept: Optional[Callable[[KernelSocket], None]] = None) -> None:
+        """Accept connections on ``port``; ``on_accept(socket)`` lets the
+        application install its callbacks."""
+        self.listeners[port] = on_accept or (lambda sock: None)
+
+    def default_tcp_config(self) -> TcpConfig:
+        return TcpConfig(
+            mss=self.config.mss,
+            aggregation_aware=self.opt.receive_aggregation and self.opt.modified_tcp,
+            gso_segments=self.config.tso_gso_segments if self.config.tso else 1,
+            **self.tcp_overrides,
+        )
+
+    def _next_iss(self) -> int:
+        self._iss += 64000
+        return self._iss & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------
+    # softirq entry points (called from driver ISR tasks)
+    # ------------------------------------------------------------------
+    def softirq_baseline(self, skbs: List[SkBuff]) -> None:
+        """Baseline path: one sk_buff per network packet."""
+        self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
+        for skb in skbs:
+            self.deliver_host_skb(skb)
+        self.app_drain()
+
+    def softirq_aggregated(self) -> None:
+        """Optimized path: run the aggregation engine over its queue."""
+        self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
+        self.aggregator.run()
+        self.app_drain()
+
+    # ------------------------------------------------------------------
+    # host-packet delivery (the network stack proper)
+    # ------------------------------------------------------------------
+    def deliver_host_skb(self, skb: SkBuff) -> None:
+        """Process one host packet through IP/TCP and the socket layer."""
+        costs = self.cpu.costs
+        consume = self.cpu.consume
+        pkt = skb.head
+
+        if not skb.csum_verified and pkt.payload_len > 0:
+            # No hardware checksum: the stack verifies in software (per-byte).
+            consume(costs.checksum_cycles(skb.payload_len), Category.PER_BYTE)
+
+        consume(costs.non_proto_rx, Category.NON_PROTO)
+        consume(costs.ip_rx, Category.RX)
+        consume(costs.tcp_rx, Category.RX)
+        nr_segments = skb.nr_segments
+        if nr_segments > 1:
+            # Modified TCP layer: walk the per-fragment metadata (§3.4).
+            consume(costs.tcp_rx_per_fragment * nr_segments, Category.RX)
+        self.cpu.profiler.count_host_packet()
+
+        conn, sock = self._demux(pkt)
+        if conn is None:
+            skb.free()
+            consume(costs.skb_free, Category.BUFFER)
+            return
+
+        if nr_segments > 1:
+            agg_payload = skb.payload_bytes() if pkt.payload is not None else None
+            conn.on_segment(
+                pkt,
+                frag_acks=skb.frag_acks,
+                frag_end_seqs=skb.frag_end_seqs,
+                frag_windows=skb.frag_windows,
+                nr_segments=nr_segments,
+                agg_payload=agg_payload,
+                agg_len=skb.payload_len,
+            )
+        else:
+            conn.on_segment(pkt)
+
+        if sock is not None and sock.pending_bytes > 0:
+            consume(costs.misc_per_host_packet, Category.MISC)
+            new_bytes = sock.pending_bytes - sum(b for b, _ in sock.pending_items)
+            if new_bytes > 0:
+                sock.pending_items.append((new_bytes, skb.nr_frags))
+            if sock not in self._dirty_sockets:
+                self._dirty_sockets.append(sock)
+
+        skb.free()
+        consume(costs.skb_free, Category.BUFFER)
+        if skb.nr_frags:
+            consume(costs.frag_buffer_release * skb.nr_frags, Category.BUFFER)
+
+    def _demux(self, pkt: Packet) -> Tuple[Optional[TcpConnection], Optional[KernelSocket]]:
+        key = FlowKey(pkt.ip.dst_ip, pkt.tcp.dst_port, pkt.ip.src_ip, pkt.tcp.src_port)
+        conn = self.connections.get(key)
+        if conn is not None:
+            return conn, self.sockets.get(key)
+        on_accept = self.listeners.get(pkt.tcp.dst_port)
+        if on_accept is None:
+            return None, None
+        conn = TcpConnection(
+            key=key,
+            config=self.default_tcp_config(),
+            clock=lambda: self.sim.now,
+            timers=self.timers,
+            transport=self,
+            iss=self._next_iss(),
+            name=f"{self.name}:accept:{key.dst_port}",
+        )
+        conn.passive_open()
+        sock = KernelSocket(self, conn)
+        self.connections[key] = conn
+        self.sockets[key] = sock
+        on_accept(sock)
+        return conn, sock
+
+    # ------------------------------------------------------------------
+    # application drain (end of softirq)
+    # ------------------------------------------------------------------
+    def app_drain(self) -> None:
+        """Wake the receiving process(es) and copy pending data to user space."""
+        if not self._dirty_sockets:
+            return
+        costs = self.cpu.costs
+        consume = self.cpu.consume
+        consume(costs.wakeup, Category.MISC)
+        dirty, self._dirty_sockets = self._dirty_sockets, []
+        for sock in dirty:
+            nbytes = sock.pending_bytes
+            if nbytes <= 0:
+                continue
+            syscalls = max(1, math.ceil(nbytes / RECV_CHUNK))
+            consume(costs.syscall * syscalls, Category.MISC)
+            for item_bytes, extra_frags in sock.pending_items:
+                consume(
+                    costs.copy_cycles(item_bytes) + costs.copy_setup_per_fragment * extra_frags,
+                    Category.PER_BYTE,
+                )
+            pending, sock.pending = sock.pending, []
+            sock.pending_items = []
+            sock.pending_bytes = 0
+            sock.bytes_received += nbytes
+            sock.conn.mark_read(nbytes)
+            if sock.on_data_cb is not None:
+                for payload, length in pending:
+                    sock.on_data_cb(sock, payload, length)
+
+    # ------------------------------------------------------------------
+    # transport interface (costed transmit paths)
+    # ------------------------------------------------------------------
+    def _driver_for(self, conn: TcpConnection):
+        driver = self.routes.get(conn.key.dst_ip)
+        if driver is None:
+            raise RuntimeError(f"{self.name}: no route to {conn.key.dst_ip}")
+        return driver
+
+    def send_packet(self, conn: TcpConnection, pkt: Packet) -> None:
+        """Data/control segment transmit path (handshake, responses, FIN)."""
+        costs = self.cpu.costs
+        consume = self.cpu.consume
+        if pkt.payload_len > 0:
+            # Copy from user space into the kernel send buffer.
+            consume(costs.copy_cycles(pkt.payload_len), Category.PER_BYTE)
+        consume(costs.tcp_tx_data, Category.TX)
+        consume(costs.ip_tx, Category.TX)
+        consume(costs.skb_alloc, Category.BUFFER)
+        consume(costs.non_proto_tx, Category.NON_PROTO)
+        pkt.ip.refresh_checksum()
+        self._driver_for(conn).tx(pkt)
+        consume(costs.skb_free, Category.BUFFER)
+
+    def send_acks(self, conn: TcpConnection, event: AckEvent) -> None:
+        """Pure-ACK transmit path — the Acknowledgment Offload hook (§4)."""
+        costs = self.cpu.costs
+        consume = self.cpu.consume
+        driver = self._driver_for(conn)
+        if self.opt.ack_offload and len(event.acks) > 1:
+            # One template ACK through the stack, expanded at the driver.
+            consume(costs.tcp_tx_ack, Category.TX)
+            consume(costs.template_ack_per_entry * len(event.acks), Category.TX)
+            consume(costs.ip_tx, Category.TX)
+            skb = build_template_ack_skb(conn, event, self.pool, now=self.sim.now)
+            consume(costs.skb_alloc, Category.BUFFER)
+            consume(costs.non_proto_tx, Category.NON_PROTO)
+            driver.tx_template(skb)
+            return
+        for ack in event.acks:
+            consume(costs.tcp_tx_ack, Category.TX)
+            consume(costs.ip_tx, Category.TX)
+            consume(costs.skb_alloc, Category.BUFFER)
+            consume(costs.non_proto_tx, Category.NON_PROTO)
+            pkt = conn.build_ack_packet(ack, event)
+            pkt.ip.refresh_checksum()
+            driver.tx(pkt, pure_ack=True)
+            consume(costs.skb_free, Category.BUFFER)

@@ -1,0 +1,127 @@
+"""The native-Linux receive host under test.
+
+Assembles CPU + NICs + drivers + kernel per a
+:class:`~repro.host.configs.SystemConfig` and an
+:class:`~repro.host.configs.OptimizationConfig`, and wires client machines
+to its NICs (one full-duplex GbE link pair per client, like the paper's five
+Pro/1000 cards each cabled to one sender machine).
+
+SMP note: the SMP configuration inflates per-packet costs via the lock model
+but still processes all receive work on one core (see configs.py for why);
+the machine therefore always has exactly one costed CPU.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buffers.pool import BufferPool
+from repro.core.aggregation import AggregationEngine
+from repro.cpu.cpu import Cpu
+from repro.driver.e1000 import E1000Driver
+from repro.host.client import ClientHost
+from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.host.kernel import Kernel
+from repro.net.addresses import ip_from_str
+from repro.nic.lro import LroEngine
+from repro.nic.nic import Nic
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+class ReceiverMachine:
+    """The server machine of the paper's evaluation."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        opt: OptimizationConfig,
+        ip: Optional[int] = None,
+        name: str = "server",
+    ):
+        self.sim = sim
+        self.config = config
+        self.opt = opt
+        self.ip = ip if ip is not None else ip_from_str("10.0.0.1")
+        self.name = name
+
+        self.cpu = Cpu(sim, config.cpu_freq_hz, costs=config.costs, locks=config.locks, name=f"{name}-cpu0")
+        self.pool = BufferPool(name=f"{name}-skb")
+        self.kernel = Kernel(sim, self.cpu, config, opt, pool=self.pool, name=name)
+        self.kernel.set_ip(self.ip)
+        if opt.receive_aggregation:
+            self.kernel.aggregator = AggregationEngine(
+                cpu=self.cpu,
+                costs=config.costs,
+                opt=opt,
+                pool=self.pool,
+                deliver=self.kernel.deliver_host_skb,
+                name=f"{name}-aggr",
+            )
+
+        self.nics: List[Nic] = []
+        self.drivers: List[E1000Driver] = []
+        self.clients: List[ClientHost] = []
+
+    # ------------------------------------------------------------------
+    def add_client(
+        self,
+        client: ClientHost,
+        drop_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        rng=None,
+    ) -> Nic:
+        """Attach a client machine via a dedicated NIC and full-duplex link."""
+        cfg = self.config
+        index = len(self.nics)
+        nic = Nic(
+            self.sim,
+            ring_size=cfg.rx_ring_size,
+            itr_interval_s=cfg.itr_interval_s,
+            checksum_offload=cfg.checksum_offload,
+            mtu=cfg.mtu,
+            lro=LroEngine(limit=cfg.lro_limit) if cfg.nic_lro else None,
+            name=f"{self.name}-eth{index}",
+        )
+        nic.adaptive_itr = cfg.adaptive_itr
+        driver = E1000Driver(
+            cpu=self.cpu,
+            nic=nic,
+            kernel=self.kernel,
+            pool=self.pool,
+            aggregation=self.opt.receive_aggregation,
+            tso=cfg.tso,
+            mss=cfg.mss,
+            name=f"{self.name}-e1000-{index}",
+        )
+        inbound = Link(
+            self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
+            drop_prob=drop_prob, reorder_prob=reorder_prob, rng=rng,
+            name=f"{client.name}->{nic.name}",
+        )
+        outbound = Link(
+            self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
+            name=f"{nic.name}->{client.name}",
+        )
+        client.attach_tx(inbound)
+        nic.attach_tx(outbound)
+        self.kernel.register_route(client.ip, driver)
+        self.nics.append(nic)
+        self.drivers.append(driver)
+        self.clients.append(client)
+        return nic
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int, on_accept=None) -> None:
+        self.kernel.listen(port, on_accept)
+
+    @property
+    def profiler(self):
+        return self.cpu.profiler
+
+    def total_ring_drops(self) -> int:
+        return sum(nic.stats.rx_dropped_ring_full for nic in self.nics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReceiverMachine({self.config.name!r}, opt={self.opt}, nics={len(self.nics)})"

@@ -1,0 +1,46 @@
+"""Packet formats and protocol primitives.
+
+Real (byte-accurate) Ethernet/IPv4/TCP headers with serialization in both
+directions, the RFC 1071 internet checksum, TCP options, and flow keys.
+
+In the simulation fast path packets carry header objects plus a payload
+*length*; correctness tests materialize real payload bytes end to end and
+verify checksums byte-exactly.
+"""
+
+from repro.net.addresses import ip_from_str, ip_to_str, mac_from_str, mac_to_str
+from repro.net.checksum import checksum_add, internet_checksum, verify_checksum
+from repro.net.ethernet import ETH_HEADER_LEN, ETH_P_IP, EthernetHeader
+from repro.net.flow import FlowKey
+from repro.net.ip import IP_HEADER_LEN, IPPROTO_TCP, IPv4Header
+from repro.net.packet import Packet
+from repro.net.tcp_header import (
+    TCP_BASE_HEADER_LEN,
+    TCP_TIMESTAMP_OPTION_LEN,
+    TcpFlags,
+    TcpHeader,
+    TcpOptions,
+)
+
+__all__ = [
+    "ip_from_str",
+    "ip_to_str",
+    "mac_from_str",
+    "mac_to_str",
+    "internet_checksum",
+    "checksum_add",
+    "verify_checksum",
+    "EthernetHeader",
+    "ETH_HEADER_LEN",
+    "ETH_P_IP",
+    "IPv4Header",
+    "IP_HEADER_LEN",
+    "IPPROTO_TCP",
+    "TcpHeader",
+    "TcpFlags",
+    "TcpOptions",
+    "TCP_BASE_HEADER_LEN",
+    "TCP_TIMESTAMP_OPTION_LEN",
+    "FlowKey",
+    "Packet",
+]

@@ -1,0 +1,49 @@
+"""Ethernet (MAC) header."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.net.addresses import mac_to_str
+
+ETH_HEADER_LEN = 14
+ETH_P_IP = 0x0800
+
+_ETH_STRUCT = struct.Struct("!6s6sH")
+
+
+def _mac_bytes(value: int) -> bytes:
+    return value.to_bytes(6, "big")
+
+
+@dataclass
+class EthernetHeader:
+    """A 14-byte Ethernet II header."""
+
+    dst_mac: int = 0
+    src_mac: int = 0
+    ethertype: int = ETH_P_IP
+
+    def pack(self) -> bytes:
+        return _ETH_STRUCT.pack(_mac_bytes(self.dst_mac), _mac_bytes(self.src_mac), self.ethertype)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < ETH_HEADER_LEN:
+            raise ValueError("truncated ethernet header")
+        dst, src, ethertype = _ETH_STRUCT.unpack_from(data)
+        return cls(
+            dst_mac=int.from_bytes(dst, "big"),
+            src_mac=int.from_bytes(src, "big"),
+            ethertype=ethertype,
+        )
+
+    def copy(self) -> "EthernetHeader":
+        return EthernetHeader(self.dst_mac, self.src_mac, self.ethertype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Eth({mac_to_str(self.src_mac)} -> {mac_to_str(self.dst_mac)},"
+            f" type=0x{self.ethertype:04x})"
+        )

@@ -1,0 +1,34 @@
+"""Flow identification (the TCP 4-tuple)."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.net.addresses import ip_to_str
+
+
+class FlowKey(NamedTuple):
+    """The (src ip, src port, dst ip, dst port) 4-tuple identifying a flow.
+
+    Aggregation matches packets on this key (paper §3.1).  The ``reverse``
+    of a flow key identifies the opposite direction of the same connection.
+    """
+
+    src_ip: int
+    src_port: int
+    dst_ip: int
+    dst_port: int
+
+    def reverse(self) -> "FlowKey":
+        return FlowKey(self.dst_ip, self.dst_port, self.src_ip, self.src_port)
+
+    @classmethod
+    def of_packet(cls, packet) -> "FlowKey":
+        """Extract the flow key from a :class:`~repro.net.packet.Packet`."""
+        return cls(packet.ip.src_ip, packet.tcp.src_port, packet.ip.dst_ip, packet.tcp.dst_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"{ip_to_str(self.src_ip)}:{self.src_port} -> "
+            f"{ip_to_str(self.dst_ip)}:{self.dst_port}"
+        )

@@ -1,0 +1,166 @@
+"""The network packet object passed through the simulation.
+
+A :class:`Packet` is one on-the-wire TCP/IP frame.  It carries real header
+objects (Ethernet, IPv4, TCP) and either real payload bytes (correctness
+tests) or just a payload length (throughput simulations, where copying
+megabytes through Python would model nothing).
+
+Aggregated "host" packets are *not* Packets — they are
+:class:`~repro.buffers.skbuff.SkBuff` instances chaining several Packets as
+fragments, mirroring how Linux chains page fragments onto one sk_buff.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.ethernet import ETH_HEADER_LEN, ETH_P_IP, EthernetHeader
+from repro.net.ip import IP_HEADER_LEN, IPPROTO_TCP, IPv4Header
+from repro.net.tcp_header import TcpFlags, TcpHeader, TcpOptions
+
+
+class Packet:
+    """One TCP/IPv4/Ethernet frame."""
+
+    __slots__ = (
+        "eth",
+        "ip",
+        "tcp",
+        "payload",
+        "payload_len",
+        "csum_verified",
+        "rx_time",
+        "created_time",
+        "lro_segs",
+    )
+
+    def __init__(
+        self,
+        ip: IPv4Header,
+        tcp: TcpHeader,
+        payload: Optional[bytes] = None,
+        payload_len: Optional[int] = None,
+        eth: Optional[EthernetHeader] = None,
+    ):
+        self.eth = eth if eth is not None else EthernetHeader()
+        self.ip = ip
+        self.tcp = tcp
+        self.payload = payload
+        if payload is not None:
+            if payload_len is not None and payload_len != len(payload):
+                raise ValueError("payload_len disagrees with payload bytes")
+            self.payload_len = len(payload)
+        else:
+            self.payload_len = payload_len or 0
+        #: Set by the NIC when receive checksum offload validated the TCP checksum.
+        self.csum_verified = False
+        #: Stamped by the NIC at DMA completion.
+        self.rx_time: Optional[float] = None
+        #: Stamped by the sender, for latency accounting.
+        self.created_time: Optional[float] = None
+        #: Number of wire packets this packet stands for (hardware LRO > 1).
+        self.lro_segs = 1
+
+    # ------------------------------------------------------------------
+    # geometry
+    # ------------------------------------------------------------------
+    @property
+    def ip_len(self) -> int:
+        """Bytes from the start of the IP header to the end of payload."""
+        return self.ip.header_len + self.tcp.header_len + self.payload_len
+
+    @property
+    def wire_len(self) -> int:
+        """MAC-frame length (without preamble/FCS/IFG, which the link adds)."""
+        return ETH_HEADER_LEN + self.ip_len
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number one past the last payload byte (mod 2**32)."""
+        return (self.tcp.seq + self.payload_len) & 0xFFFFFFFF
+
+    @property
+    def is_pure_ack(self) -> bool:
+        """A zero-length segment with ACK set and no SYN/FIN/RST."""
+        return (
+            self.payload_len == 0
+            and TcpFlags.ACK in self.tcp.flags
+            and not (self.tcp.flags & (TcpFlags.SYN | TcpFlags.FIN | TcpFlags.RST))
+        )
+
+    # ------------------------------------------------------------------
+    # serialization (used by correctness tests and the template-ACK driver)
+    # ------------------------------------------------------------------
+    def to_bytes(self, fill_checksums: bool = True) -> bytes:
+        """Serialize the full frame.  Requires real payload bytes (or empty)."""
+        payload = self.payload if self.payload is not None else b"\x00" * self.payload_len
+        self.ip.total_length = self.ip.header_len + self.tcp.header_len + len(payload)
+        if fill_checksums:
+            self.ip.refresh_checksum()
+            self.tcp.checksum = self.tcp.compute_checksum(self.ip.src_ip, self.ip.dst_ip, payload)
+        return self.eth.pack() + self.ip.pack(fill_checksum=fill_checksums) + self.tcp.pack() + payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Packet":
+        eth = EthernetHeader.unpack(data)
+        if eth.ethertype != ETH_P_IP:
+            raise ValueError(f"not an IPv4 frame (ethertype 0x{eth.ethertype:04x})")
+        ip = IPv4Header.unpack(data[ETH_HEADER_LEN:])
+        if ip.proto != IPPROTO_TCP:
+            raise ValueError(f"not a TCP packet (proto {ip.proto})")
+        tcp_start = ETH_HEADER_LEN + ip.header_len
+        tcp = TcpHeader.unpack(data[tcp_start:])
+        payload_start = tcp_start + tcp.header_len
+        payload_end = ETH_HEADER_LEN + ip.total_length
+        payload = bytes(data[payload_start:payload_end])
+        return cls(ip=ip, tcp=tcp, payload=payload, eth=eth)
+
+    def copy(self) -> "Packet":
+        clone = Packet(
+            ip=self.ip.copy(),
+            tcp=self.tcp.copy(),
+            payload=self.payload,
+            payload_len=self.payload_len,
+            eth=self.eth.copy(),
+        )
+        clone.csum_verified = self.csum_verified
+        clone.rx_time = self.rx_time
+        clone.created_time = self.created_time
+        clone.lro_segs = self.lro_segs
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Packet({self.tcp!r}, len={self.payload_len})"
+
+
+def make_data_segment(
+    src_ip: int,
+    dst_ip: int,
+    src_port: int,
+    dst_port: int,
+    seq: int,
+    ack: int,
+    payload_len: int = 0,
+    payload: Optional[bytes] = None,
+    window: int = 65535,
+    timestamp=None,
+    flags: TcpFlags = TcpFlags.ACK,
+) -> Packet:
+    """Convenience constructor for tests and workload generators."""
+    options = TcpOptions(timestamp=timestamp)
+    tcp = TcpHeader(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq & 0xFFFFFFFF,
+        ack=ack & 0xFFFFFFFF,
+        flags=flags,
+        window=window,
+        options=options,
+    )
+    if payload is not None:
+        payload_len = len(payload)
+    ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip)
+    pkt = Packet(ip=ip, tcp=tcp, payload=payload, payload_len=payload_len)
+    pkt.ip.total_length = pkt.ip_len
+    pkt.ip.refresh_checksum()
+    return pkt

@@ -1,0 +1,11 @@
+"""NIC model: descriptor rings, interrupt moderation, checksum offload.
+
+Interrupt moderation is load-bearing for the reproduction: the paper's
+aggregation degree (and therefore Figure 11's knee at ~20) emerges from how
+many packets accumulate in the rx ring between interrupts at GbE line rate.
+"""
+
+from repro.nic.nic import Nic, NicStats
+from repro.nic.ring import RxRing
+
+__all__ = ["Nic", "NicStats", "RxRing"]

@@ -1,0 +1,143 @@
+"""Hardware Large Receive Offload (the related-work comparator, paper §6).
+
+Models NIC-resident LRO in the style of the Neterion 10GbE adapters the
+paper contrasts against: the *NIC* coalesces in-sequence TCP segments before
+DMA, so the host sees one large packet per burst.  Differences from the
+paper's software Receive Aggregation, faithfully reproduced:
+
+* Coalescing costs no host CPU cycles (it happens in hardware), and the
+  driver's per-packet work is paid per *aggregate* — LRO removes even the
+  driver overhead that software aggregation cannot (§6).
+* The host stack receives a plain large segment with **no per-fragment
+  metadata**: the stock TCP layer sees one segment where there were many, so
+  ACK generation and congestion-window accounting undercount — exactly the
+  §3.4 problem the paper's modified TCP layer fixes for software
+  aggregation, and which hardware LRO of the era simply lived with.
+* No Acknowledgment Offload: the Neterion NIC "does not offer support for
+  reducing the overhead on the ACK transmit path" (§6).
+
+The merged segment is represented as a single :class:`Packet` whose
+``lro_segs`` attribute records how many wire packets it stands for (used
+only for accounting — the stack cannot see it, just as a real stack cannot).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.net.tcp_header import TcpFlags
+from repro.tcp.seqmath import seq_ge
+
+
+class _LroSession:
+    """One in-progress hardware merge."""
+
+    __slots__ = ("packet", "next_seq", "last_ack", "payloads", "segs")
+
+    def __init__(self, pkt: Packet):
+        self.packet = pkt
+        self.next_seq = pkt.end_seq
+        self.last_ack = pkt.tcp.ack
+        self.payloads: Optional[List[bytes]] = [pkt.payload] if pkt.payload is not None else None
+        self.segs = 1
+
+
+class LroEngine:
+    """Per-NIC hardware coalescing front-end.
+
+    ``accept(pkt)`` returns a list of packets ready for the rx ring (merged
+    or passed through); ``flush()`` returns everything still pending and is
+    called by the NIC right before raising an interrupt, mirroring how
+    hardware closes its sessions on interrupt assertion.
+    """
+
+    def __init__(self, limit: int = 20, sessions: int = 8):
+        if limit < 1:
+            raise ValueError("LRO limit must be >= 1")
+        self.limit = limit
+        self.max_sessions = sessions
+        self.table: Dict[FlowKey, _LroSession] = {}
+        self.merged_segments = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    def _mergeable(self, pkt: Packet) -> bool:
+        if pkt.payload_len == 0:
+            return False
+        if pkt.tcp.flags & ~(TcpFlags.ACK | TcpFlags.PSH):
+            return False
+        if pkt.ip.has_options or pkt.ip.is_fragment:
+            return False
+        if not pkt.csum_verified:
+            return False
+        if not pkt.tcp.options.only_timestamp():
+            return False
+        return True
+
+    def accept(self, pkt: Packet) -> List[Packet]:
+        out: List[Packet] = []
+        if not self._mergeable(pkt):
+            key = FlowKey.of_packet(pkt)
+            session = self.table.pop(key, None)
+            if session is not None:
+                out.append(self._close(session))
+            out.append(pkt)
+            return out
+
+        key = FlowKey.of_packet(pkt)
+        session = self.table.get(key)
+        if session is not None:
+            fits = (
+                pkt.tcp.seq == session.next_seq
+                and seq_ge(pkt.tcp.ack, session.last_ack)
+                and session.segs < self.limit
+            )
+            if fits:
+                self._merge(session, pkt)
+                if session.segs >= self.limit:
+                    del self.table[key]
+                    out.append(self._close(session))
+                return out
+            del self.table[key]
+            out.append(self._close(session))
+        if len(self.table) >= self.max_sessions:
+            _, evicted = self.table.popitem()
+            out.append(self._close(evicted))
+        self.table[key] = _LroSession(pkt)
+        return out
+
+    def flush(self) -> List[Packet]:
+        """Close every open session (hardware does this on interrupt)."""
+        out = [self._close(session) for session in self.table.values()]
+        self.table.clear()
+        if out:
+            self.flushes += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _merge(self, session: _LroSession, pkt: Packet) -> None:
+        head = session.packet
+        head.payload_len += pkt.payload_len
+        head.tcp.ack = pkt.tcp.ack
+        head.tcp.window = pkt.tcp.window
+        if pkt.tcp.options.timestamp is not None:
+            head.tcp.options.timestamp = pkt.tcp.options.timestamp
+        if session.payloads is not None and pkt.payload is not None:
+            session.payloads.append(pkt.payload)
+        else:
+            session.payloads = None
+        session.next_seq = pkt.end_seq
+        session.last_ack = pkt.tcp.ack
+        session.segs += 1
+        self.merged_segments += 1
+
+    def _close(self, session: _LroSession) -> Packet:
+        pkt = session.packet
+        if session.payloads is not None and session.segs > 1:
+            pkt.payload = b"".join(session.payloads)
+        pkt.ip.total_length = pkt.ip.header_len + pkt.tcp.header_len + pkt.payload_len
+        pkt.ip.refresh_checksum()
+        pkt.lro_segs = session.segs
+        return pkt

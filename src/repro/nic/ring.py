@@ -1,0 +1,58 @@
+"""Receive descriptor ring.
+
+A fixed-capacity FIFO between the NIC's DMA engine and the driver.  When the
+CPU cannot keep up, the ring fills and the NIC tail-drops — which is the
+feedback signal that makes the TCP senders back off and the system settle at
+the CPU's packet-processing capacity (the saturation regime of every
+throughput figure in the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.net.packet import Packet
+
+
+class RxRing:
+    """Fixed-size receive descriptor ring with tail-drop."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self._slots: Deque[Packet] = deque()
+        self.posted = 0
+        self.dropped = 0
+        self.peak_occupancy = 0
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def full(self) -> bool:
+        return len(self._slots) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._slots
+
+    def post(self, pkt: Packet) -> bool:
+        """DMA one packet into the ring; False (tail-drop) when full."""
+        if self.full:
+            self.dropped += 1
+            return False
+        self._slots.append(pkt)
+        self.posted += 1
+        if len(self._slots) > self.peak_occupancy:
+            self.peak_occupancy = len(self._slots)
+        return True
+
+    def drain(self, max_packets: int = 0) -> List[Packet]:
+        """Remove up to ``max_packets`` packets (0 = all) in FIFO order."""
+        if max_packets <= 0 or max_packets >= len(self._slots):
+            out = list(self._slots)
+            self._slots.clear()
+            return out
+        return [self._slots.popleft() for _ in range(max_packets)]

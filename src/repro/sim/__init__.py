@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel.
+
+This package provides the substrate every other subsystem runs on:
+
+* :class:`~repro.sim.engine.Simulator` — an event-heap scheduler with a
+  floating-point clock in seconds.
+* :class:`~repro.sim.engine.Event` — a cancellable scheduled callback.
+* :class:`~repro.sim.link.Link` — a point-to-point simulated link with a
+  serialization rate, propagation delay, optional loss/reordering, and a
+  FIFO transmit queue.
+* :class:`~repro.sim.rng.SeededRng` — deterministic per-component randomness.
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import Link, LinkStats
+from repro.sim.rng import SeededRng
+
+__all__ = ["Event", "Simulator", "Link", "LinkStats", "SeededRng"]

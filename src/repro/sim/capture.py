@@ -1,0 +1,138 @@
+"""Packet capture: a tcpdump analogue for simulated links.
+
+A :class:`PacketCapture` taps a link (or any packet stream) and records
+:class:`CaptureRecord` entries with timestamps.  Captures support BPF-ish
+filtering by flow/port/flags, summary rendering, and basic statistics —
+used by tests to assert on wire behaviour and by users to debug workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet
+from repro.net.tcp_header import TcpFlags
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+@dataclass
+class CaptureRecord:
+    """One captured packet with its capture timestamp."""
+
+    time: float
+    packet: Packet
+
+    @property
+    def flow(self) -> FlowKey:
+        return FlowKey.of_packet(self.packet)
+
+    def summary(self) -> str:
+        pkt = self.packet
+        flags = "|".join(f.name for f in TcpFlags if f in pkt.tcp.flags) or "-"
+        return (
+            f"{self.time * 1e6:12.1f}us  {self.flow!r}  {flags:>9s}"
+            f"  seq={pkt.tcp.seq} ack={pkt.tcp.ack} len={pkt.payload_len}"
+            f" win={pkt.tcp.window}"
+        )
+
+
+class PacketCapture:
+    """Records packets passing a tap point.
+
+    Attach to a link with :meth:`tap_link` (wraps the link's sink) or feed
+    packets manually with :meth:`record`.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "cap0", max_records: Optional[int] = None):
+        self.sim = sim
+        self.name = name
+        self.max_records = max_records
+        self.records: List[CaptureRecord] = []
+        self.dropped_records = 0
+
+    # ------------------------------------------------------------------
+    def tap_link(self, link: Link) -> None:
+        """Insert this capture between ``link`` and its existing sink."""
+        downstream = link.sink
+
+        def tapped(pkt: Packet) -> None:
+            self.record(pkt)
+            if downstream is not None:
+                downstream(pkt)
+
+        link.sink = tapped
+
+    def record(self, pkt: Packet) -> None:
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped_records += 1
+            return
+        self.records.append(CaptureRecord(self.sim.now, pkt))
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[CaptureRecord], bool]) -> List[CaptureRecord]:
+        return [rec for rec in self.records if predicate(rec)]
+
+    def by_flow(self, flow: FlowKey) -> List[CaptureRecord]:
+        return self.filter(lambda rec: rec.flow == flow)
+
+    def by_port(self, port: int) -> List[CaptureRecord]:
+        return self.filter(
+            lambda rec: rec.packet.tcp.src_port == port or rec.packet.tcp.dst_port == port
+        )
+
+    def data_packets(self) -> List[CaptureRecord]:
+        return self.filter(lambda rec: rec.packet.payload_len > 0)
+
+    def pure_acks(self) -> List[CaptureRecord]:
+        return self.filter(lambda rec: rec.packet.is_pure_ack)
+
+    def with_flags(self, flags: TcpFlags) -> List[CaptureRecord]:
+        return self.filter(lambda rec: flags in rec.packet.tcp.flags)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def bytes_captured(self) -> int:
+        return sum(rec.packet.payload_len for rec in self.records)
+
+    def throughput_bps(self) -> float:
+        """Payload throughput over the capture's time span."""
+        if len(self.records) < 2:
+            return 0.0
+        span = self.records[-1].time - self.records[0].time
+        if span <= 0:
+            return 0.0
+        return self.bytes_captured() * 8 / span
+
+    def interarrival_times(self) -> List[float]:
+        times = [rec.time for rec in self.records]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def sequence_gaps(self, flow: FlowKey) -> int:
+        """Count of non-contiguous sequence steps on one flow (reordering
+        or loss evidence)."""
+        gaps = 0
+        expected: Optional[int] = None
+        for rec in self.by_flow(flow):
+            pkt = rec.packet
+            if pkt.payload_len == 0:
+                continue
+            if expected is not None and pkt.tcp.seq != expected:
+                gaps += 1
+            expected = pkt.end_seq
+        return gaps
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [f"capture {self.name!r}: {len(self.records)} packets"]
+        lines += [rec.summary() for rec in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,142 @@
+"""Point-to-point simulated link.
+
+A :class:`Link` serializes frames at a fixed bit rate, applies a propagation
+delay, and delivers each frame to a sink callback.  It models the Ethernet
+wire including per-frame overhead (preamble, CRC, inter-frame gap), which is
+what bounds the paper's "saturate five Gigabit links" numbers: 1500-byte MTU
+frames carry at most ~94% of the line rate as TCP payload.
+
+Optional impairments (drop probability, reorder probability) support the
+correctness experiments: aggregation must be bypassed for out-of-order or
+lost-then-retransmitted segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+
+#: Ethernet wire overhead per frame, in bytes, beyond the MAC frame itself:
+#: 7B preamble + 1B SFD + 4B FCS + 12B inter-frame gap.
+ETHERNET_WIRE_OVERHEAD = 24
+
+
+@dataclass
+class LinkStats:
+    """Counters accumulated by a link over its lifetime."""
+
+    frames_sent: int = 0
+    frames_delivered: int = 0
+    frames_dropped: int = 0
+    frames_reordered: int = 0
+    bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+
+
+class Link:
+    """A unidirectional link with rate, delay, and optional impairments.
+
+    Parameters
+    ----------
+    sim:
+        Shared simulator.
+    rate_bps:
+        Serialization rate in bits/second (e.g. ``1e9`` for GbE).
+    delay_s:
+        One-way propagation delay in seconds.
+    sink:
+        Callback invoked as ``sink(frame)`` when a frame arrives.
+    drop_prob / reorder_prob:
+        Per-frame impairment probabilities (default 0 — a clean LAN).
+    rng:
+        Random stream for impairments; required if either probability > 0.
+    name:
+        Label used in reprs and stats dumps.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay_s: float,
+        sink: Optional[Callable[[Any], None]] = None,
+        drop_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        reorder_delay_s: float = 100e-6,
+        rng: Optional[SeededRng] = None,
+        name: str = "link",
+    ):
+        if (drop_prob > 0 or reorder_prob > 0) and rng is None:
+            raise ValueError("impaired links need an rng")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.sink = sink
+        self.drop_prob = drop_prob
+        self.reorder_prob = reorder_prob
+        self.reorder_delay_s = reorder_delay_s
+        self.rng = rng
+        self.name = name
+        self.stats = LinkStats()
+        # Time at which the transmitter becomes free; frames queue FIFO.
+        self._tx_free_at = 0.0
+
+    # ------------------------------------------------------------------
+    def wire_bytes(self, frame: Any) -> int:
+        """Wire footprint of a frame: its MAC bytes plus fixed overhead."""
+        size = getattr(frame, "wire_len", None)
+        if size is None:
+            size = len(frame)
+        return size + ETHERNET_WIRE_OVERHEAD
+
+    def busy(self) -> bool:
+        """True while a frame is still being serialized."""
+        return self._tx_free_at > self.sim.now
+
+    @property
+    def tx_free_at(self) -> float:
+        return self._tx_free_at
+
+    def send(self, frame: Any) -> float:
+        """Enqueue ``frame`` for transmission.
+
+        Returns the simulation time at which serialization of this frame
+        completes (i.e. when the transmitter is free again).  Frames sent
+        while the link is busy queue behind the in-flight frame, so a sender
+        that calls ``send`` faster than line rate is implicitly paced.
+        """
+        wire = self.wire_bytes(frame)
+        start = max(self.sim.now, self._tx_free_at)
+        tx_time = wire * 8.0 / self.rate_bps
+        done = start + tx_time
+        self._tx_free_at = done
+
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += wire - ETHERNET_WIRE_OVERHEAD
+        self.stats.wire_bytes_sent += wire
+
+        if self.drop_prob > 0 and self.rng.random() < self.drop_prob:
+            self.stats.frames_dropped += 1
+            return done
+
+        arrival = done + self.delay_s
+        if self.reorder_prob > 0 and self.rng.random() < self.reorder_prob:
+            arrival += self.reorder_delay_s
+            self.stats.frames_reordered += 1
+
+        self.sim.at(arrival, self._deliver, frame)
+        return done
+
+    def _deliver(self, frame: Any) -> None:
+        self.stats.frames_delivered += 1
+        if self.sink is not None:
+            self.sink(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Link({self.name!r}, {self.rate_bps / 1e9:.1f} Gb/s, "
+            f"{self.delay_s * 1e6:.0f} us)"
+        )

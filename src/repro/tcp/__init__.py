@@ -1,0 +1,39 @@
+"""A TCP protocol implementation (the paper's substrate).
+
+This is a real — if compact — TCP machine: three-way handshake, Reno
+congestion control (slow start, congestion avoidance, fast
+retransmit/recovery with NewReno partial-ACK handling), RTO estimation
+(Jacobson/Karels), delayed ACKs, out-of-order reassembly, RFC 1323
+timestamps, window scaling, SACK generation, and connection teardown.
+
+The protocol logic is *cost-free* and host-agnostic; the receive host under
+test wraps it in :mod:`repro.host.kernel`, which charges CPU cycles for every
+operation, while sender (client) machines run it directly.
+"""
+
+from repro.tcp.connection import AckEvent, TcpConfig, TcpConnection
+from repro.tcp.reno import RenoState
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.seqmath import seq_add, seq_between, seq_diff, seq_ge, seq_gt, seq_le, seq_lt
+from repro.tcp.socket import TcpSocket
+from repro.tcp.source import ByteSource, InfiniteSource
+from repro.tcp.state import TcpState
+
+__all__ = [
+    "TcpConnection",
+    "TcpConfig",
+    "AckEvent",
+    "RenoState",
+    "RttEstimator",
+    "TcpState",
+    "TcpSocket",
+    "ByteSource",
+    "InfiniteSource",
+    "seq_lt",
+    "seq_le",
+    "seq_gt",
+    "seq_ge",
+    "seq_add",
+    "seq_diff",
+    "seq_between",
+]

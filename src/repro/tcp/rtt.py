@@ -1,0 +1,49 @@
+"""RTT estimation and retransmission timeout (Jacobson/Karels, RFC 6298)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RttEstimator:
+    """Smoothed RTT / RTT variance estimator with RFC 6298 RTO computation.
+
+    ``min_rto`` defaults to Linux's 200 ms rather than the RFC's 1 s, since
+    the paper's environment is a LAN where Linux's floor is what governs.
+    """
+
+    alpha: float = 1.0 / 8.0
+    beta: float = 1.0 / 4.0
+    k: float = 4.0
+    min_rto: float = 0.2
+    max_rto: float = 120.0
+    clock_granularity: float = 0.001
+
+    srtt: Optional[float] = field(default=None, init=False)
+    rttvar: Optional[float] = field(default=None, init=False)
+    samples: int = field(default=0, init=False)
+    last_sample: Optional[float] = field(default=None, init=False)
+
+    def sample(self, rtt: float) -> None:
+        """Fold one RTT measurement into the estimate (never from a
+        retransmitted segment — Karn's algorithm is enforced by the caller)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        self.samples += 1
+        self.last_sample = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * abs(self.srtt - rtt)
+            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * rtt
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        if self.srtt is None:
+            return 1.0  # RFC 6298 initial RTO
+        candidate = self.srtt + max(self.clock_granularity, self.k * self.rttvar)
+        return min(self.max_rto, max(self.min_rto, candidate))

@@ -1,0 +1,27 @@
+"""TCP connection states (RFC 793 §3.2)."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class TcpState(Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+    @property
+    def can_receive_data(self) -> bool:
+        return self in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2)
+
+    @property
+    def can_send_data(self) -> bool:
+        return self in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT)

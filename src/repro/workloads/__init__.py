@@ -1,0 +1,18 @@
+"""Benchmark workloads: the paper's receive microbenchmarks.
+
+* :mod:`repro.workloads.stream` — netperf-like TCP_STREAM receive test
+  (single- and multi-connection).
+* :mod:`repro.workloads.request_response` — netperf TCP_RR latency test.
+"""
+
+from repro.workloads.request_response import run_rr_experiment
+from repro.workloads.results import LatencyResult, ThroughputResult
+from repro.workloads.stream import build_stream_rig, run_stream_experiment
+
+__all__ = [
+    "run_stream_experiment",
+    "build_stream_rig",
+    "run_rr_experiment",
+    "ThroughputResult",
+    "LatencyResult",
+]

@@ -1,0 +1,115 @@
+"""The receive streaming microbenchmark (paper §5.1).
+
+A netperf-like TCP_STREAM receive test: one sender (client machine) per
+server NIC pushes an endless byte stream at the highest rate TCP allows; the
+server under test receives and discards.  The reported metric is the total
+receive goodput over a measurement window that starts after a warm-up, plus
+the CPU-utilization and per-packet profile needed by the breakdown figures.
+
+Multi-connection variants (paper §5.3, Figure 12) distribute N connections
+round-robin over the NICs/clients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.host.client import ClientHost
+from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.host.machine import ReceiverMachine
+from repro.net.addresses import ip_from_str
+from repro.sim.engine import Simulator
+from repro.tcp.connection import TcpConfig
+from repro.tcp.source import InfiniteSource
+from repro.workloads.results import ThroughputResult
+
+SERVER_PORT = 5001
+
+
+def make_receiver(sim, config, opt, ip):
+    """Build the right machine type (native or Xen) for ``config``."""
+    if config.is_xen:
+        from repro.xen.machine import XenReceiverMachine
+
+        return XenReceiverMachine(sim, config, opt, ip=ip)
+    return ReceiverMachine(sim, config, opt, ip=ip)
+
+
+def build_stream_rig(
+    config: SystemConfig,
+    opt: OptimizationConfig,
+    n_connections: Optional[int] = None,
+):
+    """Assemble sim + server + clients + connections; returns them unstarted."""
+    sim = Simulator()
+    machine = make_receiver(sim, config, opt, ip=ip_from_str("10.0.0.1"))
+    machine.listen(SERVER_PORT)
+
+    clients: List[ClientHost] = []
+    for i in range(config.n_nics):
+        client = ClientHost(sim, ip_from_str(f"10.0.1.{i + 1}"), name=f"client{i}", iss_base=1000 + i)
+        machine.add_client(client)
+        clients.append(client)
+
+    if n_connections is None:
+        n_connections = config.n_nics
+    sender_sockets = []
+    for j in range(n_connections):
+        client = clients[j % len(clients)]
+        tcp_cfg = TcpConfig(mss=config.mss)
+        sock = client.connect(machine.ip, SERVER_PORT, config=tcp_cfg)
+        sock.conn.attach_source(InfiniteSource(materialize=False, seed=j))
+        sender_sockets.append(sock)
+    return sim, machine, clients, sender_sockets
+
+
+def run_stream_experiment(
+    config: SystemConfig,
+    opt: OptimizationConfig,
+    n_connections: Optional[int] = None,
+    duration: float = 0.30,
+    warmup: float = 0.15,
+) -> ThroughputResult:
+    """Run the streaming benchmark and measure over [warmup, warmup+duration]."""
+    sim, machine, clients, senders = build_stream_rig(config, opt, n_connections)
+
+    sim.run(until=warmup)
+    profile0 = machine.profiler.snapshot(sim.now)
+    busy0 = machine.cpu.busy_cycles
+    bytes0 = _server_bytes(machine)
+    drops0 = machine.total_ring_drops()
+    rtx0 = _sender_retransmits(senders)
+
+    sim.run(until=warmup + duration)
+    profile1 = machine.profiler.snapshot(sim.now)
+    delta = profile1.diff(profile0)
+    bytes_rx = _server_bytes(machine) - bytes0
+    busy = machine.cpu.busy_cycles - busy0
+    utilization = min(1.0, busy / (duration * machine.cpu.freq_hz))
+    n_pkts = max(1, delta.network_packets)
+
+    return ThroughputResult(
+        system=config.name,
+        optimized=opt.receive_aggregation,
+        throughput_mbps=bytes_rx * 8 / duration / 1e6,
+        cpu_utilization=utilization,
+        duration_s=duration,
+        bytes_received=bytes_rx,
+        network_packets=delta.network_packets,
+        host_packets=delta.host_packets,
+        acks_sent=delta.acks_sent,
+        aggregation_degree=delta.network_packets / max(1, delta.host_packets),
+        cycles_per_packet=delta.total_cycles / n_pkts,
+        breakdown={cat: cyc / n_pkts for cat, cyc in delta.cycles.items()},
+        ring_drops=machine.total_ring_drops() - drops0,
+        retransmits=_sender_retransmits(senders) - rtx0,
+        profile=delta,
+    )
+
+
+def _server_bytes(machine: ReceiverMachine) -> int:
+    return sum(sock.bytes_received for sock in machine.kernel.sockets.values())
+
+
+def _sender_retransmits(senders) -> int:
+    return sum(sock.conn.stats.retransmits for sock in senders)

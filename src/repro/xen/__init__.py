@@ -1,0 +1,24 @@
+"""Xen network-virtualization substrate (paper §2.4, Figure 5).
+
+Receive pipeline (all stages on one shared physical CPU)::
+
+    physical NIC -> driver-domain e1000 driver
+        -> [Receive Aggregation, when enabled  (before the bridge)]
+        -> software bridge + netfilter           (non-proto)
+        -> netback                               (per packet + per fragment)
+        -> I/O channel: grant copy into guest    (xen + per-byte copy #1)
+        -> netfront                              (per packet + per fragment)
+        -> guest TCP/IP stack                    (tcp rx, buffer, misc)
+        -> guest socket, copy to application     (per-byte copy #2)
+
+Transmit (ACKs) reverses the pipeline; with Acknowledgment Offload the
+*template* ACK crosses netfront/netback/bridge once and is expanded into
+real ACK packets by the driver-domain physical driver.
+"""
+
+from repro.xen.costs import XenCostModel
+from repro.xen.driver_domain import DriverDomain
+from repro.xen.guest_tx import GuestTxPath
+from repro.xen.machine import XenReceiverMachine
+
+__all__ = ["XenCostModel", "DriverDomain", "GuestTxPath", "XenReceiverMachine"]

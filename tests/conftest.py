@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.host.configs import linux_up_config
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def fast_config(**overrides):
+    """A Linux-UP config shrunk for fast integration tests (2 NICs)."""
+    cfg = linux_up_config()
+    return dataclasses.replace(cfg, n_nics=overrides.pop("n_nics", 2), **overrides)
+
+
+@pytest.fixture
+def baseline_opt() -> OptimizationConfig:
+    return OptimizationConfig.baseline()
+
+
+@pytest.fixture
+def optimized_opt() -> OptimizationConfig:
+    return OptimizationConfig.optimized()

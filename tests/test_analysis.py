@@ -1,0 +1,86 @@
+"""Analysis/reporting helper tests."""
+
+import pytest
+
+from repro.analysis.breakdown import analytic_aggregation_curve, breakdown_table, group_reduction_factor
+from repro.analysis.reporting import ascii_bar_chart, ascii_series, render_table
+from repro.workloads.results import ThroughputResult
+
+
+def fake_result(optimized, breakdown):
+    return ThroughputResult(
+        system="T", optimized=optimized, throughput_mbps=1000, cpu_utilization=1.0,
+        duration_s=1.0, bytes_received=1, network_packets=1, host_packets=1,
+        acks_sent=0, aggregation_degree=1.0,
+        cycles_per_packet=sum(breakdown.values()), breakdown=breakdown,
+        ring_drops=0, retransmits=0,
+    )
+
+
+def test_breakdown_table_orders_and_labels():
+    orig = fake_result(False, {"rx": 100.0, "tx": 50.0})
+    opt = fake_result(True, {"rx": 10.0, "tx": 5.0})
+    rows = breakdown_table([orig, opt], order=["rx", "tx", "buffer"])
+    assert [r["category"] for r in rows] == ["rx", "tx"]  # zero rows dropped
+    assert rows[0]["Original"] == 100.0
+    assert rows[0]["Optimized"] == 10.0
+
+
+def test_group_reduction_factor():
+    orig = fake_result(False, {"rx": 100.0, "tx": 100.0, "misc": 7.0})
+    opt = fake_result(True, {"rx": 25.0, "tx": 25.0, "misc": 7.0})
+    assert group_reduction_factor(orig, opt, ["rx", "tx"]) == pytest.approx(4.0)
+
+
+def test_group_reduction_factor_handles_zero():
+    orig = fake_result(False, {"rx": 100.0})
+    opt = fake_result(True, {})
+    assert group_reduction_factor(orig, opt, ["rx"]) == float("inf")
+
+
+def test_analytic_curve_shape():
+    curve = analytic_aggregation_curve(5000, 5000, [1, 2, 5, 10])
+    assert curve[1] == 10000
+    assert curve[2] == 7500
+    assert curve[10] == 5500
+    assert sorted(curve.values(), reverse=True) == [curve[k] for k in sorted(curve)]
+
+
+def test_render_table_alignment_and_content():
+    text = render_table(
+        ["name", "value"],
+        [{"name": "alpha", "value": 1234.5}, {"name": "b", "value": 2.0}],
+        title="T",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in text and "1,234" in text
+
+
+def test_render_table_missing_cells_blank():
+    text = render_table(["a", "b"], [{"a": 1}])
+    assert text.splitlines()[-1].strip().startswith("1")
+
+
+def test_ascii_bar_chart_scales_to_peak():
+    text = ascii_bar_chart([("big", 100.0), ("half", 50.0)], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+
+
+def test_ascii_bar_chart_empty():
+    assert ascii_bar_chart([], title="nothing") == "nothing"
+
+
+def test_ascii_series_plots_all_points():
+    pts = [(1, 10.0), (2, 20.0), (3, 15.0)]
+    text = ascii_series(pts, width=30, height=8, title="S")
+    assert text.count("*") == 3
+    assert text.splitlines()[0] == "S"
+
+
+def test_ascii_series_constant_y():
+    text = ascii_series([(1, 5.0), (2, 5.0)], width=20, height=5)
+    assert text.count("*") >= 1

@@ -1,0 +1,101 @@
+"""CLI, CSV export, and validation-band tests."""
+
+import csv
+import io
+import os
+
+import pytest
+
+from repro.analysis.export import result_to_csv, results_to_csv_files
+from repro.analysis.validation import CheckResult, validate
+from repro.cli import build_parser, main
+from repro.experiments.base import ExperimentResult
+
+
+def fake_result(eid="figure99", rows=None, columns=None):
+    return ExperimentResult(
+        experiment_id=eid,
+        title="T",
+        paper_reference="ref",
+        columns=columns or ["a", "b"],
+        rows=rows if rows is not None else [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}],
+    )
+
+
+# ---------------------------------------------------------------- export
+def test_csv_roundtrip():
+    text = result_to_csv(fake_result())
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows == [{"a": "1", "b": "2.5"}, {"a": "3", "b": "4.5"}]
+
+
+def test_csv_missing_cells_blank():
+    text = result_to_csv(fake_result(rows=[{"a": 1}]))
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert rows[0]["b"] == ""
+
+
+def test_csv_files_written(tmp_path):
+    paths = results_to_csv_files([fake_result("e1"), fake_result("e2")], str(tmp_path))
+    assert sorted(os.path.basename(p) for p in paths) == ["e1.csv", "e2.csv"]
+    assert all(os.path.exists(p) for p in paths)
+
+
+# ---------------------------------------------------------------- validation
+def test_validate_unknown_experiment_returns_empty():
+    assert validate(fake_result("not-registered")) == []
+
+
+def test_validate_table1_bands():
+    result = ExperimentResult(
+        experiment_id="table1", title="t", paper_reference="r",
+        columns=["system", "delta %"],
+        rows=[{"system": "Linux UP", "delta %": 0.2},
+              {"system": "Xen", "delta %": -3.0}],
+    )
+    checks = validate(result)
+    assert [c.passed for c in checks] == [True, False]
+    assert "FAIL" in str(checks[1])
+
+
+def test_validate_figure12_band():
+    result = ExperimentResult(
+        experiment_id="figure12", title="t", paper_reference="r",
+        columns=["connections", "gain %"],
+        rows=[{"connections": 400, "gain %": 55.0}],
+    )
+    checks = validate(result)
+    assert checks[0].passed
+
+
+# ---------------------------------------------------------------- CLI
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure7" in out and "extension_hw_lro" in out
+
+
+def test_cli_run_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "not-an-experiment"])
+
+
+def test_cli_run_quick_with_csv(tmp_path, capsys):
+    csv_path = str(tmp_path / "out.csv")
+    assert main(["run", "ablation_limit1", "--quick", "--csv", csv_path]) == 0
+    out = capsys.readouterr().out
+    assert "ablation_limit1" in out
+    with open(csv_path) as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 2
+
+
+def test_cli_report_quick(tmp_path, capsys, monkeypatch):
+    # Patch the registry to a single cheap experiment to keep this fast.
+    import repro.experiments.runner as runner
+
+    monkeypatch.setattr(runner, "REGISTRY", {"ablation_limit1": runner.REGISTRY["ablation_limit1"]})
+    out_path = str(tmp_path / "EXP.md")
+    assert main(["report", out_path, "--quick"]) == 0
+    text = open(out_path).read()
+    assert "ablation_limit1" in text

@@ -1,0 +1,127 @@
+"""The CPU as a serial resource: task ordering, time accounting, views."""
+
+import pytest
+
+from repro.cpu.categories import Category
+from repro.cpu.cpu import Cpu
+from repro.cpu.locks import LockModel
+from repro.cpu.view import CpuView
+from repro.sim.engine import Simulator
+
+
+def test_consume_advances_busy_until(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    cpu.consume(1000, Category.RX)
+    assert cpu.busy_until == pytest.approx(1e-6)
+    assert cpu.busy_cycles == 1000
+    assert cpu.profiler.cycles[Category.RX] == 1000
+
+
+def test_tasks_run_fifo_and_serialize(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    log = []
+
+    def task(name, cycles):
+        log.append((name, sim.now))
+        cpu.consume(cycles, Category.MISC)
+
+    cpu.submit(task, "a", 1000)
+    cpu.submit(task, "b", 1000)
+    sim.run()
+    # b starts when a's cycles complete.
+    assert log[0] == ("a", 0.0)
+    assert log[1][0] == "b"
+    assert log[1][1] == pytest.approx(1e-6)
+
+
+def test_task_submitted_while_busy_waits(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    times = []
+    cpu.submit(lambda: cpu.consume(5000, Category.MISC))
+    sim.schedule(1e-6, lambda: cpu.submit(lambda: times.append(sim.now)))
+    sim.run()
+    assert times[0] == pytest.approx(5e-6)
+
+
+def test_defer_schedules_at_completion_time(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    fired = []
+
+    def task():
+        cpu.consume(2000, Category.TX)
+        cpu.defer(lambda: fired.append(sim.now))
+
+    cpu.submit(task)
+    sim.run()
+    assert fired[0] == pytest.approx(2e-6)
+
+
+def test_lock_inflation_applied_at_consume(sim):
+    locks = LockModel(enabled=True)
+    cpu = Cpu(sim, freq_hz=1e9, locks=locks)
+    cpu.consume(100, Category.RX)
+    assert cpu.profiler.cycles[Category.RX] == pytest.approx(162.0)
+    cpu.consume(100, Category.BUFFER)
+    assert cpu.profiler.cycles[Category.BUFFER] == pytest.approx(100.0)
+
+
+def test_zero_or_negative_consume_is_noop(sim):
+    cpu = Cpu(sim)
+    cpu.consume(0, Category.RX)
+    cpu.consume(-5, Category.RX)
+    assert cpu.busy_cycles == 0
+
+
+def test_idle_reflects_state(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    assert cpu.idle()
+    cpu.submit(lambda: cpu.consume(1000, Category.MISC))
+    assert not cpu.idle()
+    sim.run(until=1e-5)  # past busy_until so the clock catches up
+    assert cpu.idle()
+
+
+def test_utilization_window(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    start_cycles = cpu.busy_cycles
+    cpu.consume(5e5, Category.MISC)
+    assert cpu.utilization(start_cycles, 1e-3) == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------- views
+def test_view_relabels_categories(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    view = CpuView(cpu, category_map={Category.RX: Category.TCP_RX})
+    view.consume(100, Category.RX)
+    view.consume(50, Category.TX)
+    assert cpu.profiler.cycles[Category.TCP_RX] == 100
+    assert cpu.profiler.cycles[Category.TX] == 50
+    assert Category.RX not in cpu.profiler.cycles
+
+
+def test_view_scales_costs(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    view = CpuView(cpu, scale_map={Category.RX: 1.5})
+    view.consume(100, Category.RX)
+    view.consume(100, Category.PER_BYTE)
+    assert cpu.profiler.cycles[Category.RX] == pytest.approx(150.0)
+    assert cpu.profiler.cycles[Category.PER_BYTE] == pytest.approx(100.0)
+
+
+def test_views_share_the_underlying_serial_resource(sim):
+    cpu = Cpu(sim, freq_hz=1e9)
+    a = CpuView(cpu, name="a")
+    b = CpuView(cpu, name="b")
+    a.consume(1000, Category.RX)
+    b.consume(1000, Category.TX)
+    assert cpu.busy_cycles == 2000
+    assert cpu.busy_until == pytest.approx(2e-6)
+
+
+def test_view_passthrough_properties(sim):
+    cpu = Cpu(sim, freq_hz=2e9)
+    view = CpuView(cpu)
+    assert view.freq_hz == 2e9
+    assert view.sim is sim
+    assert view.profiler is cpu.profiler
+    assert view.costs is cpu.costs

@@ -1,0 +1,133 @@
+"""Tests for the extension studies (jumbo frames, ITR sweep, bidirectional)."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.base import ExperimentResult, window
+
+
+@pytest.fixture(scope="module")
+def results():
+    cache = {}
+
+    def get(eid):
+        if eid not in cache:
+            cache[eid] = run_experiment(eid, quick=True)
+        return cache[eid]
+
+    return get
+
+
+def test_window_helper():
+    assert window(True)[0] < window(False)[0]
+    assert all(v > 0 for v in window(True) + window(False))
+
+
+def test_experiment_result_row_lookup():
+    result = ExperimentResult("x", "t", "r", ["a"], [{"a": 1}, {"a": 2}])
+    assert result.row(a=2) == {"a": 2}
+    with pytest.raises(KeyError):
+        result.row(a=99)
+
+
+# ---------------------------------------------------------------- jumbo frames
+def test_jumbo_frames_lift_baseline(results):
+    r = results("extension_jumbo")
+    std_base = r.row(MTU=1500, stack="Original")
+    jumbo_base = r.row(MTU=9000, stack="Original")
+    # 6x fewer packets: the baseline stops being CPU-bound.
+    assert jumbo_base["throughput Mb/s"] > 1.2 * std_base["throughput Mb/s"]
+
+
+def test_aggregation_helps_at_both_mtus(results):
+    r = results("extension_jumbo")
+    for mtu in (1500, 9000):
+        base = r.row(MTU=mtu, stack="Original")
+        opt = r.row(MTU=mtu, stack="Optimized")
+        # "irrespective of the network MTU size" (§6): fewer host packets
+        # and no worse CPU per packet.
+        assert opt["host pkts/s"] < base["host pkts/s"]
+        assert opt["cycles/packet"] < base["cycles/packet"] * 1.02
+
+
+def test_standard_mtu_optimized_rivals_jumbo_baseline(results):
+    r = results("extension_jumbo")
+    std_opt = r.row(MTU=1500, stack="Optimized")
+    jumbo_base = r.row(MTU=9000, stack="Original")
+    assert std_opt["throughput Mb/s"] > 0.8 * jumbo_base["throughput Mb/s"]
+
+
+# ---------------------------------------------------------------- ITR sweep
+def test_aggregation_robust_to_itr(results):
+    """Even at ITR=0, CPU-induced ring queueing keeps batches (and thus
+    aggregation) alive — the NAPI effect."""
+    r = results("extension_itr")
+    for row in r.rows:
+        assert row["aggregation degree"] > 5
+        assert row["throughput Mb/s"] > 4400
+
+
+def test_fixed_moderation_taxes_latency_adaptive_does_not(results):
+    r = results("extension_itr")
+    rows = sorted(r.rows, key=lambda row: row["ITR us"])
+    # Adaptive RR rate is flat across the sweep.
+    adaptive = [row["RR/s adaptive"] for row in rows]
+    assert max(adaptive) / min(adaptive) < 1.05
+    # Fixed moderation at the largest interval costs a big fraction of RR rate.
+    biggest = rows[-1]
+    assert biggest["RR/s fixed ITR"] < 0.7 * biggest["RR/s adaptive"]
+
+
+# ---------------------------------------------------------------- bidirectional
+def test_bidirectional_lowers_aggregation_degree(results):
+    r = results("extension_bidirectional")
+    for row in r.rows:
+        assert 1.0 < row["aggregation degree"] < 6.0  # far below the ~11 unidirectional
+
+
+def test_modified_layer_replays_fragments_stock_does_not(results):
+    r = results("extension_bidirectional")
+    modified = r.row(**{"TCP layer": "modified (§3.4)"})
+    stock = r.row(**{"TCP layer": "stock (ablation)"})
+    assert modified["frag acks/s"] > 0
+    assert stock["frag acks/s"] == 0
+    # Both keep the reverse direction running at high rate.
+    assert modified["reverse Mb/s"] > 400
+    assert stock["reverse Mb/s"] > 400
+
+
+# ---------------------------------------------------------------- load sweep
+def test_low_load_no_meaningful_regression(results):
+    """§5.5: 'the overall performance will never get worse'."""
+    r = results("extension_load_sensitivity")
+    for row in r.rows:
+        regression = row["opt cycles/KB"] / row["base cycles/KB"] - 1
+        assert regression < 0.05, row["offered load"]
+
+
+def test_savings_engage_with_aggregation_degree(results):
+    r = results("extension_load_sensitivity")
+    rows = r.rows
+    low, high = rows[0], rows[-1]
+    assert low["aggregation degree"] < 2
+    assert high["aggregation degree"] > 4
+    assert high["CPU saving %"] > 25
+
+
+# ---------------------------------------------------------------- TSO
+def test_tso_saves_tx_cycles_for_large_responses(results):
+    r = results("extension_tso")
+    small = r.rows[0]
+    large = r.rows[-1]
+    # No effect at single-MSS responses, large effect at 64 KiB.
+    assert abs(small["tx cycles saved %"]) < 3
+    assert large["tx cycles saved %"] > 25
+    # Savings grow monotonically with the response size.
+    savings = [row["tx cycles saved %"] for row in r.rows]
+    assert savings == sorted(savings)
+
+
+def test_tso_does_not_change_transaction_results(results):
+    r = results("extension_tso")
+    for row in r.rows:
+        assert row["req/s TSO"] == pytest.approx(row["req/s no TSO"], rel=0.05)

@@ -1,0 +1,188 @@
+"""Modified TCP layer tests (paper §3.4): the connection must behave exactly
+as if every network packet had been processed individually."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modified_tcp import acks_for_fragments, replay_fragment_acks
+from repro.net.addresses import ip_from_str
+from repro.net.flow import FlowKey
+from repro.net.packet import make_data_segment
+from repro.sim.engine import Simulator
+from repro.sim.timers import SimTimers
+from repro.tcp.connection import TcpConfig, TcpConnection
+from repro.tcp.reno import RenoState
+from repro.tcp.state import TcpState
+
+SERVER = ip_from_str("10.0.0.1")
+CLIENT = ip_from_str("10.0.1.1")
+MSS = 1448
+
+
+class _Recorder:
+    def __init__(self):
+        self.packets = []
+        self.events = []
+
+    def send_packet(self, conn, pkt):
+        self.packets.append(pkt)
+
+    def send_acks(self, conn, event):
+        self.events.append(event)
+
+
+def make_established(sim, aggregation_aware):
+    key = FlowKey(SERVER, 5001, CLIENT, 10000)
+    transport = _Recorder()
+    conn = TcpConnection(
+        key, TcpConfig(aggregation_aware=aggregation_aware),
+        lambda: sim.now, SimTimers(sim), transport, iss=500,
+    )
+    conn.state = TcpState.ESTABLISHED
+    conn.rcv_nxt = 1000
+    conn.snd_una = conn.snd_nxt = 501
+    return conn, transport
+
+
+def data_pkt(seq, ack=501, length=MSS):
+    return make_data_segment(CLIENT, SERVER, 10000, 5001, seq=seq, ack=ack,
+                             payload_len=length, timestamp=(3, 2))
+
+
+def feed_aggregated(conn, n_frags, start_seq=1000, acks=None):
+    end_seqs = [start_seq + (i + 1) * MSS for i in range(n_frags)]
+    frag_acks = acks if acks is not None else [501] * n_frags
+    head = data_pkt(start_seq, ack=frag_acks[0])
+    head.tcp.ack = frag_acks[-1]
+    conn.on_segment(
+        head,
+        frag_acks=frag_acks,
+        frag_end_seqs=end_seqs,
+        frag_windows=[65535] * n_frags,
+        nr_segments=n_frags,
+        agg_len=n_frags * MSS,
+    )
+    return end_seqs
+
+
+# ---------------------------------------------------------------- reference functions
+def test_acks_for_fragments_every_second_segment():
+    acks, carry = acks_for_fragments([100, 200, 300, 400], 0)
+    assert acks == [200, 400]
+    assert carry == 0
+
+
+def test_acks_for_fragments_carry_in_and_out():
+    acks, carry = acks_for_fragments([100, 200, 300], 1)
+    assert acks == [100, 300]
+    assert carry == 0
+
+
+def test_replay_fragment_acks_grows_per_ack():
+    reno = RenoState(mss=1000)
+    start = reno.cwnd
+    reno, una = replay_fragment_acks(reno, 0, [1000, 2000, 3000])
+    assert una == 3000
+    assert reno.cwnd == start + 3000  # slow start: +MSS per ACK, 3 ACKs
+
+
+def test_replay_ignores_stale_acks():
+    reno = RenoState(mss=1000)
+    start = reno.cwnd
+    reno, una = replay_fragment_acks(reno, 5000, [4000, 5000, 6000])
+    assert una == 6000
+    assert reno.cwnd == start + 1000  # only one ack advanced
+
+
+# ---------------------------------------------------------------- equivalence
+def test_ack_generation_matches_unaggregated_receiver(sim):
+    """k fragments in one aggregate must produce the same ACK numbers as k
+    individual packets (§3.4 case 2)."""
+    agg_conn, agg_t = make_established(sim, aggregation_aware=True)
+    plain_conn, plain_t = make_established(sim, aggregation_aware=False)
+
+    feed_aggregated(agg_conn, 7)
+    for i in range(7):
+        plain_conn.on_segment(data_pkt(1000 + i * MSS))
+
+    agg_acks = [a for e in agg_t.events for a in e.acks]
+    plain_acks = [a for e in plain_t.events for a in e.acks]
+    assert agg_acks == plain_acks
+    assert agg_conn.rcv_nxt == plain_conn.rcv_nxt
+    assert agg_conn._segs_since_ack == plain_conn._segs_since_ack
+
+
+def test_ack_counter_carries_across_aggregates(sim):
+    conn, t = make_established(sim, aggregation_aware=True)
+    feed_aggregated(conn, 3, start_seq=1000)          # acks at frag 2, carry 1
+    feed_aggregated(conn, 3, start_seq=1000 + 3 * MSS)  # acks at frags 1 and 3
+    acks = [a for e in t.events for a in e.acks]
+    assert acks == [1000 + 2 * MSS, 1000 + 4 * MSS, 1000 + 6 * MSS]
+
+
+def test_cwnd_growth_matches_individual_acks(sim):
+    """§3.4 case 1: send-side cwnd must grow per fragment ACK."""
+    agg_conn, _ = make_established(sim, aggregation_aware=True)
+    plain_conn, _ = make_established(sim, aggregation_aware=False)
+    for conn in (agg_conn, plain_conn):
+        conn.snd_nxt = 501 + 10 * MSS  # pretend data in flight
+        conn.reno.cwnd = 10 * MSS
+
+    acks = [501 + (i + 1) * MSS for i in range(6)]
+    feed_aggregated(agg_conn, 6, acks=acks)
+    for i, ack in enumerate(acks):
+        plain_conn.on_segment(data_pkt(1000 + i * MSS, ack=ack))
+
+    assert agg_conn.reno.cwnd == plain_conn.reno.cwnd
+    assert agg_conn.snd_una == plain_conn.snd_una
+    assert agg_conn.stats.frag_acks_processed == 6
+
+
+def test_unaware_layer_undercounts_acks(sim):
+    """Without §3.4, one aggregated packet = one ACK worth of cwnd growth —
+    the bug the modified TCP layer exists to fix."""
+    aware, _ = make_established(sim, aggregation_aware=True)
+    unaware, _ = make_established(sim, aggregation_aware=False)
+    for conn in (aware, unaware):
+        conn.snd_nxt = 501 + 10 * MSS
+        conn.reno.cwnd = 10 * MSS
+
+    acks = [501 + (i + 1) * MSS for i in range(6)]
+    feed_aggregated(aware, 6, acks=acks)
+    feed_aggregated(unaware, 6, acks=acks)  # metadata present but ignored
+    assert aware.reno.cwnd > unaware.reno.cwnd
+    assert aware.reno.cwnd - unaware.reno.cwnd == 5 * MSS  # 6 acks vs 1
+
+
+def test_delivered_bytes_equal_for_aggregated_and_plain(sim):
+    agg_conn, _ = make_established(sim, aggregation_aware=True)
+    plain_conn, _ = make_established(sim, aggregation_aware=False)
+    feed_aggregated(agg_conn, 5)
+    for i in range(5):
+        plain_conn.on_segment(data_pkt(1000 + i * MSS))
+    assert agg_conn.stats.bytes_delivered == plain_conn.stats.bytes_delivered == 5 * MSS
+
+
+@given(st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=8))
+def test_ack_equivalence_property(frag_counts):
+    """For ANY partition of a packet train into aggregates, the generated
+    ACK numbers equal the unaggregated receiver's."""
+    sim = Simulator()
+    agg_conn, agg_t = make_established(sim, aggregation_aware=True)
+    plain_conn, plain_t = make_established(sim, aggregation_aware=False)
+
+    seq = 1000
+    for count in frag_counts:
+        feed_aggregated(agg_conn, count, start_seq=seq)
+        seq += count * MSS
+    seq = 1000
+    total = sum(frag_counts)
+    for i in range(total):
+        plain_conn.on_segment(data_pkt(seq))
+        seq += MSS
+
+    agg_acks = [a for e in agg_t.events for a in e.acks]
+    plain_acks = [a for e in plain_t.events for a in e.acks]
+    assert agg_acks == plain_acks
+    assert agg_conn.rcv_nxt == plain_conn.rcv_nxt

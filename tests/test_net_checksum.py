@@ -1,0 +1,85 @@
+"""RFC 1071 checksum tests, including the incremental updates the
+ACK-offload driver relies on."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.checksum import (
+    checksum_add,
+    checksum_update_u32,
+    checksums_equivalent,
+    internet_checksum,
+    verify_checksum,
+)
+
+
+def test_known_vector():
+    # Classic example from RFC 1071 §3 (words 0001 f203 f4f5 f6f7).
+    data = bytes.fromhex("0001f203f4f5f6f7")
+    assert internet_checksum(data) == 0xFFFF - ((0x0001 + 0xF203 + 0xF4F5 + 0xF6F7) % 0xFFFF)
+
+
+def test_zero_data():
+    assert internet_checksum(b"\x00" * 8) == 0xFFFF
+
+
+def test_odd_length_padded_with_zero():
+    assert internet_checksum(b"\x12") == internet_checksum(b"\x12\x00")
+
+
+def test_verify_checksum_roundtrip():
+    payload = b"hello tcp checksum world"
+    csum = internet_checksum(payload)
+    full = payload + (b"\x00" if len(payload) % 2 else b"")
+    # Embed the checksum as an extra word: sum must come out as all-ones.
+    assert verify_checksum(full + struct.pack("!H", csum))
+
+
+@given(st.binary(min_size=0, max_size=200))
+def test_checksum_in_range(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=2, max_size=100).filter(lambda b: len(b) % 2 == 0))
+def test_data_plus_own_checksum_verifies(data):
+    csum = internet_checksum(data)
+    assert verify_checksum(data + struct.pack("!H", csum))
+
+
+@given(
+    st.binary(min_size=8, max_size=64).filter(lambda b: len(b) % 2 == 0),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_incremental_word_update_matches_recompute(data, word_index, new_word):
+    old = internet_checksum(data)
+    pos = word_index * 2
+    old_word = (data[pos] << 8) | data[pos + 1]
+    updated = bytearray(data)
+    updated[pos] = new_word >> 8
+    updated[pos + 1] = new_word & 0xFF
+    assert checksums_equivalent(checksum_add(old, old_word, new_word), internet_checksum(bytes(updated)))
+
+
+@given(
+    st.binary(min_size=12, max_size=60).filter(lambda b: len(b) % 2 == 0),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+def test_incremental_u32_update_matches_recompute(data, new_value):
+    """The exact operation the driver performs on a template ACK's ACK field."""
+    old = internet_checksum(data)
+    old_value = struct.unpack_from("!I", data, 4)[0]
+    updated = bytearray(data)
+    struct.pack_into("!I", updated, 4, new_value)
+    assert checksums_equivalent(checksum_update_u32(old, old_value, new_value), internet_checksum(bytes(updated)))
+
+
+def test_checksums_equivalent_predicate():
+    assert checksums_equivalent(0x1234, 0x1234)
+    assert checksums_equivalent(0x0000, 0xFFFF)
+    assert checksums_equivalent(0xFFFF, 0x0000)
+    assert not checksums_equivalent(0x0000, 0x0001)
+    assert not checksums_equivalent(0x1234, 0x1235)

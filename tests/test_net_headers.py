@@ -1,0 +1,149 @@
+"""Serialization round-trips and semantics for Ethernet/IPv4/TCP headers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import ip_from_str, ip_to_str, mac_from_str, mac_to_str
+from repro.net.ethernet import ETH_HEADER_LEN, EthernetHeader
+from repro.net.ip import IP_DF, IP_MF, IPv4Header
+from repro.net.tcp_header import TcpFlags, TcpHeader, TcpOptions
+
+
+# ---------------------------------------------------------------- addresses
+def test_ip_string_roundtrip():
+    assert ip_to_str(ip_from_str("192.168.1.200")) == "192.168.1.200"
+
+
+def test_ip_parse_rejects_bad_input():
+    with pytest.raises(ValueError):
+        ip_from_str("10.0.0")
+    with pytest.raises(ValueError):
+        ip_from_str("10.0.0.999")
+
+
+def test_mac_string_roundtrip():
+    assert mac_to_str(mac_from_str("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+
+@given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_ip_int_roundtrip(value):
+    assert ip_from_str(ip_to_str(value)) == value
+
+
+# ---------------------------------------------------------------- ethernet
+def test_ethernet_roundtrip():
+    hdr = EthernetHeader(dst_mac=0x112233445566, src_mac=0xAABBCCDDEEFF, ethertype=0x0800)
+    assert EthernetHeader.unpack(hdr.pack()) == hdr
+    assert len(hdr.pack()) == ETH_HEADER_LEN
+
+
+def test_ethernet_truncated_rejected():
+    with pytest.raises(ValueError):
+        EthernetHeader.unpack(b"\x00" * 5)
+
+
+# ---------------------------------------------------------------- ipv4
+def test_ipv4_roundtrip_with_checksum():
+    hdr = IPv4Header(src_ip=ip_from_str("10.0.0.1"), dst_ip=ip_from_str("10.0.0.2"), total_length=1500)
+    packed = hdr.pack()
+    parsed = IPv4Header.unpack(packed)
+    assert parsed.src_ip == hdr.src_ip
+    assert parsed.dst_ip == hdr.dst_ip
+    assert parsed.total_length == 1500
+    assert parsed.checksum_ok()
+
+
+def test_ipv4_checksum_detects_corruption():
+    hdr = IPv4Header(src_ip=1, dst_ip=2, total_length=100)
+    hdr.refresh_checksum()
+    assert hdr.checksum_ok()
+    hdr.total_length = 101  # corrupt a field without refreshing
+    assert not hdr.checksum_ok()
+
+
+def test_ipv4_fragment_detection():
+    assert not IPv4Header(frag=IP_DF).is_fragment
+    assert IPv4Header(frag=IP_MF).is_fragment
+    assert IPv4Header(frag=100).is_fragment  # nonzero offset
+
+
+def test_ipv4_options_detection():
+    assert not IPv4Header().has_options
+    assert IPv4Header(options=b"\x94\x04\x00\x00").has_options
+
+
+def test_ipv4_truncated_rejected():
+    with pytest.raises(ValueError):
+        IPv4Header.unpack(b"\x45" + b"\x00" * 10)
+
+
+# ---------------------------------------------------------------- tcp
+def test_tcp_roundtrip_basic():
+    hdr = TcpHeader(src_port=5001, dst_port=80, seq=12345, ack=999, flags=TcpFlags.ACK | TcpFlags.PSH, window=4321)
+    parsed = TcpHeader.unpack(hdr.pack())
+    assert parsed.src_port == 5001
+    assert parsed.dst_port == 80
+    assert parsed.seq == 12345
+    assert parsed.ack == 999
+    assert parsed.flags == TcpFlags.ACK | TcpFlags.PSH
+    assert parsed.window == 4321
+
+
+def test_tcp_roundtrip_with_all_syn_options():
+    options = TcpOptions(mss=1460, window_scale=7, sack_permitted=True, timestamp=(1000, 0))
+    hdr = TcpHeader(flags=TcpFlags.SYN, options=options)
+    parsed = TcpHeader.unpack(hdr.pack())
+    assert parsed.options.mss == 1460
+    assert parsed.options.window_scale == 7
+    assert parsed.options.sack_permitted
+    assert parsed.options.timestamp == (1000, 0)
+
+
+def test_tcp_roundtrip_with_sack_blocks():
+    options = TcpOptions(sack_blocks=[(100, 200), (400, 600)])
+    parsed = TcpHeader.unpack(TcpHeader(options=options).pack())
+    assert parsed.options.sack_blocks == [(100, 200), (400, 600)]
+
+
+def test_tcp_header_len_includes_options():
+    ts_only = TcpHeader(options=TcpOptions(timestamp=(1, 2)))
+    assert ts_only.header_len == 32  # 20 + 12 (NOP NOP TS)
+    assert TcpHeader().header_len == 20
+
+
+def test_only_timestamp_detection():
+    assert TcpOptions(timestamp=(1, 2)).only_timestamp()
+    assert TcpOptions().only_timestamp()
+    assert not TcpOptions(timestamp=(1, 2), sack_blocks=[(1, 2)]).only_timestamp()
+    assert not TcpOptions(mss=1460).only_timestamp()
+    assert not TcpOptions(sack_permitted=True).only_timestamp()
+
+
+def test_tcp_checksum_roundtrip():
+    hdr = TcpHeader(src_port=1, dst_port=2, seq=3, ack=4)
+    payload = b"some tcp payload"
+    csum = hdr.compute_checksum(ip_from_str("10.0.0.1"), ip_from_str("10.0.0.2"), payload)
+    assert 0 <= csum <= 0xFFFF
+    # Deterministic and sensitive to payload changes.
+    assert csum == hdr.compute_checksum(ip_from_str("10.0.0.1"), ip_from_str("10.0.0.2"), payload)
+    assert csum != hdr.compute_checksum(ip_from_str("10.0.0.1"), ip_from_str("10.0.0.2"), b"other payload!!!")
+
+
+def test_tcp_truncated_rejected():
+    with pytest.raises(ValueError):
+        TcpHeader.unpack(b"\x00" * 10)
+
+
+@given(
+    st.integers(min_value=0, max_value=65535),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=65535),
+)
+def test_tcp_roundtrip_property(port, seq, ack, window):
+    hdr = TcpHeader(src_port=port, dst_port=65535 - port, seq=seq, ack=ack, window=window,
+                    options=TcpOptions(timestamp=(seq, ack)))
+    parsed = TcpHeader.unpack(hdr.pack())
+    assert (parsed.src_port, parsed.seq, parsed.ack, parsed.window) == (port, seq, ack, window)
+    assert parsed.options.timestamp == (seq, ack)

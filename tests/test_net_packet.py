@@ -1,0 +1,90 @@
+"""Full-frame packet serialization and geometry tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.addresses import ip_from_str
+from repro.net.flow import FlowKey
+from repro.net.packet import Packet, make_data_segment
+from repro.net.tcp_header import TcpFlags
+
+SRC = ip_from_str("10.0.1.1")
+DST = ip_from_str("10.0.0.1")
+
+
+def test_frame_roundtrip_with_payload():
+    pkt = make_data_segment(SRC, DST, 5001, 80, seq=1000, ack=500, payload=b"abcdef", timestamp=(11, 22))
+    parsed = Packet.from_bytes(pkt.to_bytes())
+    assert parsed.payload == b"abcdef"
+    assert parsed.tcp.seq == 1000
+    assert parsed.tcp.ack == 500
+    assert parsed.tcp.options.timestamp == (11, 22)
+    assert parsed.ip.src_ip == SRC
+    assert parsed.ip.checksum_ok()
+
+
+def test_wire_len_geometry():
+    pkt = make_data_segment(SRC, DST, 1, 2, seq=0, ack=0, payload_len=1448, timestamp=(0, 0))
+    # 14 (eth) + 20 (ip) + 32 (tcp w/ timestamps) + 1448 = 1514
+    assert pkt.wire_len == 1514
+    assert pkt.ip_len == 1500
+    assert pkt.ip.total_length == 1500
+
+
+def test_end_seq_wraps():
+    pkt = make_data_segment(SRC, DST, 1, 2, seq=0xFFFFFFF0, ack=0, payload_len=0x20)
+    assert pkt.end_seq == 0x10
+
+
+def test_is_pure_ack():
+    ack = make_data_segment(SRC, DST, 1, 2, seq=5, ack=10, payload_len=0)
+    assert ack.is_pure_ack
+    data = make_data_segment(SRC, DST, 1, 2, seq=5, ack=10, payload_len=10)
+    assert not data.is_pure_ack
+    syn = make_data_segment(SRC, DST, 1, 2, seq=5, ack=0, payload_len=0, flags=TcpFlags.SYN | TcpFlags.ACK)
+    assert not syn.is_pure_ack
+
+
+def test_payload_len_mismatch_rejected():
+    from repro.net.ip import IPv4Header
+    from repro.net.tcp_header import TcpHeader
+
+    with pytest.raises(ValueError):
+        Packet(IPv4Header(), TcpHeader(), payload=b"abc", payload_len=5)
+
+
+def test_copy_is_deep_for_headers():
+    pkt = make_data_segment(SRC, DST, 1, 2, seq=100, ack=0, payload_len=10)
+    clone = pkt.copy()
+    clone.tcp.seq = 999
+    clone.ip.ttl = 1
+    assert pkt.tcp.seq == 100
+    assert pkt.ip.ttl == 64
+
+
+def test_flow_key_of_packet_and_reverse():
+    pkt = make_data_segment(SRC, DST, 5001, 80, seq=0, ack=0)
+    key = FlowKey.of_packet(pkt)
+    assert key == FlowKey(SRC, 5001, DST, 80)
+    assert key.reverse() == FlowKey(DST, 80, SRC, 5001)
+    assert key.reverse().reverse() == key
+
+
+def test_non_ip_frame_rejected():
+    pkt = make_data_segment(SRC, DST, 1, 2, seq=0, ack=0, payload=b"x")
+    raw = bytearray(pkt.to_bytes())
+    raw[12:14] = b"\x86\xdd"  # IPv6 ethertype
+    with pytest.raises(ValueError):
+        Packet.from_bytes(bytes(raw))
+
+
+@given(st.binary(min_size=0, max_size=1448), st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_frame_roundtrip_property(payload, seq):
+    pkt = make_data_segment(SRC, DST, 1234, 80, seq=seq, ack=1, payload=payload, timestamp=(7, 9))
+    parsed = Packet.from_bytes(pkt.to_bytes())
+    assert parsed.payload == payload
+    assert parsed.tcp.seq == seq
+    assert parsed.ip.checksum_ok()
+    # TCP checksum embedded by to_bytes must verify against a recompute.
+    assert parsed.tcp.checksum == parsed.tcp.compute_checksum(SRC, DST, payload)

@@ -1,0 +1,174 @@
+"""NIC ring, interrupt moderation, and driver path tests."""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.cpu.categories import Category
+from repro.host.client import ClientHost
+from repro.host.machine import ReceiverMachine
+from repro.net.addresses import ip_from_str
+from repro.net.packet import make_data_segment
+from repro.nic.nic import Nic
+from repro.nic.ring import RxRing
+from repro.sim.engine import Simulator
+
+from tests.conftest import fast_config
+
+CLIENT_IP = ip_from_str("10.0.1.1")
+SERVER_IP = ip_from_str("10.0.0.1")
+
+
+def _pkt(seq=0):
+    return make_data_segment(CLIENT_IP, SERVER_IP, 10000, 5001, seq=seq, ack=0,
+                             payload_len=1448, timestamp=(0, 0))
+
+
+# ---------------------------------------------------------------- ring
+def test_ring_fifo_and_drain():
+    ring = RxRing(capacity=4)
+    pkts = [_pkt(i) for i in range(3)]
+    for p in pkts:
+        assert ring.post(p)
+    assert ring.drain() == pkts
+    assert ring.empty
+
+
+def test_ring_tail_drop_when_full():
+    ring = RxRing(capacity=2)
+    assert ring.post(_pkt(0))
+    assert ring.post(_pkt(1))
+    assert not ring.post(_pkt(2))
+    assert ring.dropped == 1
+    assert len(ring) == 2
+
+
+def test_ring_partial_drain():
+    ring = RxRing(capacity=8)
+    for i in range(5):
+        ring.post(_pkt(i))
+    out = ring.drain(max_packets=2)
+    assert [p.tcp.seq for p in out] == [0, 1]
+    assert len(ring) == 3
+
+
+def test_ring_peak_occupancy():
+    ring = RxRing(capacity=8)
+    for i in range(5):
+        ring.post(_pkt(i))
+    ring.drain()
+    ring.post(_pkt(9))
+    assert ring.peak_occupancy == 5
+
+
+def test_ring_invalid_capacity():
+    with pytest.raises(ValueError):
+        RxRing(0)
+
+
+# ---------------------------------------------------------------- NIC
+def test_nic_checksum_offload_marks_packets(sim):
+    nic = Nic(sim, checksum_offload=True)
+    pkt = _pkt()
+    nic.rx_frame(pkt)
+    assert pkt.csum_verified
+    nic2 = Nic(sim, checksum_offload=False)
+    pkt2 = _pkt()
+    nic2.rx_frame(pkt2)
+    assert not pkt2.csum_verified
+
+
+def test_interrupt_moderation_batches_high_rate_arrivals(sim):
+    """At line rate, one interrupt covers many packets (the aggregation
+    opportunity, §5.2)."""
+    batches = []
+
+    class FakeDriver:
+        def on_interrupt(self, nic):
+            batches.append(len(nic.ring.drain()))
+            nic.last_drain_count = batches[-1]
+            nic.poll_ring()
+
+    nic = Nic(sim, itr_interval_s=250e-6)
+    nic.bind_driver(FakeDriver())
+    # 12.3 us packet spacing = GbE line rate.
+    for i in range(100):
+        sim.schedule(i * 12.3e-6, nic.rx_frame, _pkt(i))
+    sim.run()
+    assert sum(batches) == 100
+    assert max(batches) >= 15  # moderation built real batches
+
+
+def test_low_rate_arrivals_interrupt_immediately(sim):
+    """Adaptive ITR: widely-spaced packets see no moderation delay (Table 1)."""
+    latencies = []
+
+    class FakeDriver:
+        def on_interrupt(self, nic):
+            pkts = nic.ring.drain()
+            nic.last_drain_count = len(pkts)
+            for p in pkts:
+                latencies.append(sim.now - p.rx_time)
+            nic.poll_ring()
+
+    nic = Nic(sim, itr_interval_s=250e-6)
+    nic.bind_driver(FakeDriver())
+    for i in range(20):
+        sim.schedule(i * 1e-3, nic.rx_frame, _pkt(i))  # 1 ms apart
+    sim.run()
+    assert max(latencies) == pytest.approx(0.0, abs=1e-9)
+
+
+# ---------------------------------------------------------------- driver paths
+def _machine(sim, opt):
+    m = ReceiverMachine(sim, fast_config(n_nics=1), opt, ip=SERVER_IP)
+    client = ClientHost(sim, CLIENT_IP)
+    m.add_client(client)
+    m.listen(5001)
+    return m, client
+
+
+def test_baseline_driver_charges_mac_and_skb_per_packet(sim):
+    m, client = _machine(sim, OptimizationConfig.baseline())
+    for i in range(10):
+        pkt = _pkt(seq=1000 + 1448 * i)
+        client.tx_link.send(pkt)
+    sim.run(until=0.01)
+    prof = m.cpu.profiler
+    costs = m.cpu.costs
+    assert prof.network_packets == 10
+    # MAC processing (the compulsory miss) is inside the driver category.
+    driver = prof.cycles[Category.DRIVER]
+    assert driver >= 10 * (costs.driver_rx_per_packet + costs.mac_rx_processing)
+    assert Category.AGGR not in prof.cycles
+
+
+def test_optimized_driver_skips_mac_processing(sim):
+    m, client = _machine(sim, OptimizationConfig.optimized())
+    for i in range(10):
+        client.tx_link.send(_pkt(seq=1000 + 1448 * i))
+    sim.run(until=0.01)
+    prof = m.cpu.profiler
+    costs = m.cpu.costs
+    # The compulsory miss moved to the aggr category (paper §5.1: 681 cycles).
+    assert prof.cycles[Category.AGGR] >= 10 * costs.mac_rx_processing
+    driver = prof.cycles[Category.DRIVER]
+    assert driver < 10 * (costs.driver_rx_per_packet + costs.mac_rx_processing)
+
+
+def test_aggregation_disabled_without_checksum_offload(sim):
+    """§3.1: no receive checksum offload -> no Receive Aggregation."""
+    cfg = fast_config(n_nics=1, checksum_offload=False)
+    m = ReceiverMachine(sim, cfg, OptimizationConfig.optimized(), ip=SERVER_IP)
+    client = ClientHost(sim, CLIENT_IP)
+    m.add_client(client)
+    assert not m.drivers[0].aggregation
+
+
+def test_isr_counts_and_batches(sim):
+    m, client = _machine(sim, OptimizationConfig.baseline())
+    for i in range(6):
+        client.tx_link.send(_pkt(seq=1000 + 1448 * i))
+    sim.run(until=0.01)
+    d = m.drivers[0].stats
+    assert d.rx_packets == 6
+    assert 1 <= d.isr_runs <= 6

@@ -1,0 +1,44 @@
+"""Paced (application-limited) sender tests."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.source import InfiniteSource
+from repro.workloads.paced import PacedSender
+
+import sys
+sys.path.insert(0, "tests")
+from helpers import make_pair  # noqa: E402
+
+
+def test_paced_rate_is_respected(sim):
+    conn_a, conn_b, sock_a, sock_b, *_ = make_pair(sim)
+    sender = PacedSender(sim, conn_a, rate_bps=10e6, chunk_bytes=5000)
+    sim.run(until=sim.now + 1.0)
+    observed_bps = sock_b.bytes_received * 8
+    assert observed_bps == pytest.approx(10e6, rel=0.05)
+
+
+def test_paced_burst_mode_same_average(sim):
+    conn_a, conn_b, sock_a, sock_b, *_ = make_pair(sim)
+    sender = PacedSender(sim, conn_a, rate_bps=8e6, chunk_bytes=4000, burst_chunks=4)
+    sim.run(until=sim.now + 1.0)
+    assert sock_b.bytes_received * 8 == pytest.approx(8e6, rel=0.08)
+
+
+def test_paced_stop_halts_writes(sim):
+    conn_a, conn_b, sock_a, sock_b, *_ = make_pair(sim)
+    sender = PacedSender(sim, conn_a, rate_bps=10e6, chunk_bytes=5000)
+    sim.run(until=sim.now + 0.2)
+    sender.stop()
+    written = sender.bytes_written
+    sim.run(until=sim.now + 0.5)
+    assert sender.bytes_written == written
+
+
+def test_paced_rejects_bad_params(sim):
+    conn_a, *_ = make_pair(sim)
+    with pytest.raises(ValueError):
+        PacedSender(sim, conn_a, rate_bps=0)
+    with pytest.raises(ValueError):
+        PacedSender(sim, conn_a, rate_bps=1e6, burst_chunks=0)

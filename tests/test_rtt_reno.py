@@ -1,0 +1,166 @@
+"""RTO estimator and Reno congestion-control unit tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tcp.reno import RenoState
+from repro.tcp.rtt import RttEstimator
+
+
+# ---------------------------------------------------------------- RTT / RTO
+def test_initial_rto_is_one_second():
+    assert RttEstimator().rto == 1.0
+
+
+def test_first_sample_initializes_srtt():
+    est = RttEstimator()
+    est.sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+
+
+def test_smoothing_converges_toward_stable_rtt():
+    est = RttEstimator()
+    for _ in range(100):
+        est.sample(0.050)
+    assert est.srtt == pytest.approx(0.050, rel=0.01)
+    assert est.rttvar < 0.001
+
+
+def test_rto_floor_applies_on_lan():
+    """Sub-millisecond LAN RTTs must still yield the Linux 200 ms floor."""
+    est = RttEstimator()
+    for _ in range(20):
+        est.sample(100e-6)
+    assert est.rto == pytest.approx(est.min_rto)
+
+
+def test_rto_grows_with_variance():
+    stable, jittery = RttEstimator(min_rto=0.0), RttEstimator(min_rto=0.0)
+    for i in range(50):
+        stable.sample(0.5)
+        jittery.sample(0.5 + (0.3 if i % 2 else -0.3))
+    assert jittery.rto > stable.rto
+
+
+def test_rto_capped_at_max():
+    est = RttEstimator()
+    est.sample(200.0)
+    assert est.rto == est.max_rto
+
+
+def test_negative_sample_rejected():
+    with pytest.raises(ValueError):
+        RttEstimator().sample(-0.1)
+
+
+# ---------------------------------------------------------------- Reno
+def test_initial_cwnd_three_segments():
+    reno = RenoState(mss=1448)
+    assert reno.cwnd == 3 * 1448
+    assert reno.in_slow_start
+
+
+def test_slow_start_grows_one_mss_per_ack():
+    reno = RenoState(mss=1000)
+    before = reno.cwnd
+    reno.on_new_ack(1000)
+    assert reno.cwnd == before + 1000
+
+
+def test_slow_start_growth_capped_by_acked_bytes():
+    """An ACK for less than one MSS grows cwnd by only that much."""
+    reno = RenoState(mss=1000)
+    before = reno.cwnd
+    reno.on_new_ack(200)
+    assert reno.cwnd == before + 200
+
+
+def test_congestion_avoidance_linear_growth():
+    reno = RenoState(mss=1000)
+    reno.ssthresh = 2000  # force CA
+    reno.cwnd = 10000
+    reno.on_new_ack(1000)
+    assert reno.cwnd == 10000 + max(1, 1000 * 1000 // 10000)
+
+
+def test_fast_retransmit_on_third_dup_ack():
+    reno = RenoState(mss=1000)
+    reno.cwnd = 10000
+    flight = 10000
+    assert not reno.on_duplicate_ack(snd_nxt=50000, flight_size=flight)
+    assert not reno.on_duplicate_ack(snd_nxt=50000, flight_size=flight)
+    assert reno.on_duplicate_ack(snd_nxt=50000, flight_size=flight)
+    assert reno.in_recovery
+    assert reno.ssthresh == 5000
+    assert reno.cwnd == 5000 + 3000
+
+
+def test_recovery_inflates_per_additional_dup_ack():
+    reno = RenoState(mss=1000)
+    reno.cwnd = 10000
+    for _ in range(3):
+        reno.on_duplicate_ack(50000, 10000)
+    cwnd = reno.cwnd
+    reno.on_duplicate_ack(50000, 10000)
+    assert reno.cwnd == cwnd + 1000
+
+
+def test_full_ack_exits_recovery_and_deflates():
+    reno = RenoState(mss=1000)
+    reno.cwnd = 10000
+    for _ in range(3):
+        reno.on_duplicate_ack(50000, 10000)
+    assert reno.on_recovery_ack(ack=50000, snd_una=40000) is False
+    assert not reno.in_recovery
+    assert reno.cwnd == reno.ssthresh
+
+
+def test_partial_ack_stays_in_recovery():
+    """NewReno: a partial ACK retransmits the next hole, stays recovering."""
+    reno = RenoState(mss=1000)
+    reno.cwnd = 10000
+    for _ in range(3):
+        reno.on_duplicate_ack(50000, 10000)
+    assert reno.on_recovery_ack(ack=45000, snd_una=40000) is True
+    assert reno.in_recovery
+
+
+def test_rto_collapses_window():
+    reno = RenoState(mss=1000)
+    reno.cwnd = 20000
+    reno.on_rto()
+    assert reno.cwnd == 1000
+    assert reno.ssthresh == 10000
+    assert not reno.in_recovery
+
+
+def test_ssthresh_floor_two_mss():
+    reno = RenoState(mss=1000)
+    reno.cwnd = 1000
+    reno.on_rto()
+    assert reno.ssthresh == 2000
+
+
+@given(st.integers(min_value=1, max_value=100))
+def test_slow_start_doubles_per_window(acks):
+    """cwnd grows by one MSS per ACK while in slow start (RFC 5681)."""
+    reno = RenoState(mss=1448)
+    start = reno.cwnd
+    for _ in range(acks):
+        if not reno.in_slow_start:
+            break
+        reno.on_new_ack(1448)
+    assert reno.cwnd >= start
+
+
+@given(st.integers(min_value=2, max_value=60))
+def test_ca_growth_is_sublinear(acks):
+    reno = RenoState(mss=1000)
+    reno.ssthresh = 1000
+    reno.cwnd = 20000
+    for _ in range(acks):
+        reno.on_new_ack(1000)
+    # ~1 MSS per cwnd/mss ACKs: after `acks` ACKs growth is well below 1 MSS/ACK.
+    assert reno.cwnd - 20000 <= acks * 1000 // 15

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_initial_state(sim):
+    assert sim.now == 0.0
+    assert sim.pending == 0
+    assert sim.events_fired == 0
+
+
+def test_schedule_and_run_advances_clock(sim):
+    fired = []
+    sim.schedule(1e-3, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert sim.now == pytest.approx(1e-3)
+
+
+def test_events_fire_in_time_order(sim):
+    order = []
+    sim.schedule(3e-3, order.append, 3)
+    sim.schedule(1e-3, order.append, 1)
+    sim.schedule(2e-3, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order(sim):
+    order = []
+    for i in range(10):
+        sim.schedule(1e-3, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_cancelled_event_does_not_fire(sim):
+    fired = []
+    ev = sim.schedule(1e-3, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_cancel_is_idempotent(sim):
+    ev = sim.schedule(1e-3, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    sim.run()
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1e-3, fired.append, "early")
+    sim.schedule(5e-3, fired.append, "late")
+    sim.run(until=2e-3)
+    assert fired == ["early"]
+    assert sim.now == pytest.approx(2e-3)
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_until_advances_clock_even_with_no_events(sim):
+    sim.run(until=0.5)
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_at_in_the_past_rejected(sim):
+    sim.schedule(1e-3, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.0, lambda: None)
+
+
+def test_events_scheduled_during_run_fire(sim):
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 4:
+            sim.schedule(1e-4, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_bound(sim):
+    fired = []
+
+    def rearm():
+        fired.append(sim.now)
+        sim.schedule(1e-6, rearm)
+
+    sim.schedule(0.0, rearm)
+    sim.run(max_events=10)
+    assert len(fired) == 10
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_pending_counts_only_live_events(sim):
+    ev1 = sim.schedule(1e-3, lambda: None)
+    sim.schedule(2e-3, lambda: None)
+    assert sim.pending == 2
+    ev1.cancel()
+    assert sim.pending == 1

@@ -1,0 +1,104 @@
+"""Unit tests for the simulated link (serialization, delay, impairments)."""
+
+import pytest
+
+from repro.net.addresses import ip_from_str
+from repro.net.packet import make_data_segment
+from repro.sim.engine import Simulator
+from repro.sim.link import ETHERNET_WIRE_OVERHEAD, Link
+from repro.sim.rng import SeededRng
+
+
+def _packet(payload_len=1448):
+    return make_data_segment(
+        ip_from_str("10.0.0.1"), ip_from_str("10.0.0.2"), 1, 2,
+        seq=0, ack=0, payload_len=payload_len, timestamp=(1, 0),
+    )
+
+
+def test_delivery_after_serialization_and_propagation(sim):
+    got = []
+    link = Link(sim, rate_bps=1e9, delay_s=10e-6, sink=got.append)
+    pkt = _packet()
+    link.send(pkt)
+    sim.run()
+    assert got == [pkt]
+    wire_bits = (pkt.wire_len + ETHERNET_WIRE_OVERHEAD) * 8
+    assert sim.now == pytest.approx(wire_bits / 1e9 + 10e-6)
+
+
+def test_fifo_pacing_at_line_rate(sim):
+    """Frames sent back-to-back are spaced by their serialization time."""
+    times = []
+    link = Link(sim, rate_bps=1e9, delay_s=0.0, sink=lambda p: times.append(sim.now))
+    for _ in range(3):
+        link.send(_packet())
+    sim.run()
+    wire_s = (_packet().wire_len + ETHERNET_WIRE_OVERHEAD) * 8 / 1e9
+    assert times[0] == pytest.approx(wire_s)
+    assert times[1] - times[0] == pytest.approx(wire_s)
+    assert times[2] - times[1] == pytest.approx(wire_s)
+
+
+def test_gigabit_mtu_frame_rate():
+    """A GbE link carries ~81,274 MTU frames/s — the paper's §3.6 number."""
+    sim = Simulator()
+    count = []
+    link = Link(sim, rate_bps=1e9, delay_s=0.0, sink=count.append)
+    for _ in range(200):
+        link.send(_packet(1448))  # 1500B IP + 14 eth + 24 overhead = 1538B wire
+    sim.run()
+    rate = len(count) / sim.now
+    assert rate == pytest.approx(1e9 / (1538 * 8), rel=0.01)
+
+
+def test_drop_probability(sim):
+    rng = SeededRng(7, "link")
+    got = []
+    link = Link(sim, 1e9, 0.0, sink=got.append, drop_prob=0.5, rng=rng)
+    for _ in range(400):
+        link.send(_packet())
+    sim.run()
+    assert 120 < len(got) < 280
+    assert link.stats.frames_dropped == 400 - len(got)
+
+
+def test_reordering_delays_some_frames(sim):
+    rng = SeededRng(3, "link")
+    order = []
+    link = Link(
+        sim, 1e9, 10e-6, sink=lambda p: order.append(p.tcp.seq),
+        reorder_prob=0.2, reorder_delay_s=200e-6, rng=rng,
+    )
+    for i in range(100):
+        pkt = _packet()
+        pkt.tcp.seq = i
+        link.send(pkt)
+    sim.run()
+    assert len(order) == 100
+    assert order != sorted(order)
+    assert link.stats.frames_reordered > 0
+
+
+def test_impairment_without_rng_rejected(sim):
+    with pytest.raises(ValueError):
+        Link(sim, 1e9, 0.0, drop_prob=0.1)
+
+
+def test_busy_reflects_in_flight_serialization(sim):
+    link = Link(sim, 1e6, 0.0, sink=lambda p: None)  # slow link
+    assert not link.busy()
+    link.send(_packet())
+    assert link.busy()
+    sim.run()
+    assert not link.busy()
+
+
+def test_stats_accumulate(sim):
+    link = Link(sim, 1e9, 0.0, sink=lambda p: None)
+    for _ in range(5):
+        link.send(_packet(100))
+    sim.run()
+    assert link.stats.frames_sent == 5
+    assert link.stats.frames_delivered == 5
+    assert link.stats.wire_bytes_sent == 5 * (_packet(100).wire_len + ETHERNET_WIRE_OVERHEAD)
