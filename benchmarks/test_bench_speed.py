@@ -1,0 +1,38 @@
+"""Benchmark: simulator speed itself (events/sec, simulated packets/sec).
+
+Unlike the other benchmarks, which regenerate paper figures, this one
+measures how fast the simulation kernel runs the Figure 7 workload mix.
+Besides feeding ``benchmark.extra_info`` (so ``--benchmark-json`` carries
+the numbers), it writes ``BENCH_speed.json`` at the repo root — the perf
+trajectory that future fast-path PRs compare against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.speed import format_speed_report, measure_figure07_speed
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_simulator_speed(benchmark):
+    report = benchmark.pedantic(
+        measure_figure07_speed, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    print()
+    print(format_speed_report(report))
+
+    benchmark.extra_info["events_per_sec"] = round(report["events_per_sec"])
+    benchmark.extra_info["packets_per_sec"] = round(report["packets_per_sec"])
+    benchmark.extra_info["events_fired"] = report["events_fired"]
+    benchmark.extra_info["network_packets"] = report["network_packets"]
+
+    out = _REPO_ROOT / "BENCH_speed.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    # The workload mix is deterministic: a changed event count means the
+    # engine's semantics changed, not just its speed.
+    assert report["events_fired"] > 0
+    assert report["network_packets"] > 0

@@ -1,0 +1,95 @@
+"""Simulator performance measurement: events/sec and simulated packets/sec.
+
+The science experiments measure the *simulated machine* (cycles/packet,
+Mb/s).  This module measures the *simulator itself*: how many scheduler
+events and simulated wire packets it burns through per wall-clock second.
+That is the number the fast-path work (tuple heap entries, template
+packets, interned profiler categories) moves, and the one the
+``benchmarks/test_bench_speed.py`` harness tracks across PRs via the
+repo's ``BENCH_*.json`` perf trajectory.
+
+The standard probe is the Figure 7 workload mix (UP / SMP / Xen, baseline
+and optimized) at quick fidelity — it exercises every hot subsystem: the
+event heap, both driver receive paths, aggregation, ACK offload, and the
+Xen bridge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from repro.core.config import OptimizationConfig
+from repro.experiments.base import window
+from repro.host.configs import linux_smp_config, linux_up_config, xen_config
+from repro.workloads.stream import run_stream_experiment
+
+
+def measure_stream_speed(
+    config,
+    opt: OptimizationConfig,
+    duration: float,
+    warmup: float,
+) -> Dict[str, float]:
+    """Time one streaming simulation; report wall seconds, events, packets."""
+    t0 = time.perf_counter()
+    result = run_stream_experiment(config, opt, duration=duration, warmup=warmup)
+    wall = time.perf_counter() - t0
+    return {
+        "system": result.system,
+        "optimized": result.optimized,
+        "wall_s": wall,
+        "events_fired": result.events_fired,
+        "network_packets": result.network_packets,
+        "throughput_mbps": result.throughput_mbps,
+    }
+
+
+def measure_figure07_speed(quick: bool = True) -> Dict[str, object]:
+    """Run the Figure 7 workload mix and report simulator speed.
+
+    Returns a JSON-ready dict with per-point detail and aggregate
+    ``events_per_sec`` / ``packets_per_sec`` over the whole mix.  The
+    ``events_fired`` totals are deterministic (same seed, same engine
+    semantics); only the wall-clock figures vary run to run.
+    """
+    duration, warmup = window(quick)
+    points: List[Dict[str, float]] = []
+    for config_fn in (linux_up_config, linux_smp_config, xen_config):
+        for opt in (OptimizationConfig.baseline(), OptimizationConfig.optimized()):
+            points.append(
+                measure_stream_speed(config_fn(), opt, duration=duration, warmup=warmup)
+            )
+    wall = sum(p["wall_s"] for p in points)
+    events = sum(p["events_fired"] for p in points)
+    packets = sum(p["network_packets"] for p in points)
+    return {
+        "probe": "figure7",
+        "quick": quick,
+        "wall_s": wall,
+        "events_fired": events,
+        "network_packets": packets,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "points": points,
+    }
+
+
+def format_speed_report(report: Dict[str, object]) -> str:
+    """Human-readable one-screen rendering of a speed report."""
+    lines = [
+        f"simulator speed probe: {report['probe']}"
+        f" ({'quick' if report['quick'] else 'full'} fidelity)",
+        f"  wall time        : {report['wall_s']:.2f} s",
+        f"  events fired     : {report['events_fired']:,}",
+        f"  simulated packets: {report['network_packets']:,}",
+        f"  events/sec       : {report['events_per_sec']:,.0f}",
+        f"  packets/sec      : {report['packets_per_sec']:,.0f}",
+    ]
+    for p in report["points"]:
+        mode = "optimized" if p["optimized"] else "baseline"
+        lines.append(
+            f"    {p['system']:<12} {mode:<9} {p['wall_s']:6.2f} s"
+            f"  {p['events_fired']:>9,} events"
+        )
+    return "\n".join(lines)

@@ -3,8 +3,8 @@
 Usage::
 
     python -m repro list
-    python -m repro run figure7 [--quick] [--csv out.csv]
-    python -m repro all [--quick] [--csv-dir results/]
+    python -m repro run figure7 [--quick] [--csv out.csv] [--jobs N]
+    python -m repro all [--quick] [--csv-dir results/] [--jobs N]
     python -m repro report [--quick] [EXPERIMENTS.md]
 """
 
@@ -42,7 +42,7 @@ def _print_result(result, csv_path=None) -> None:
 
 def _cmd_run(args) -> int:
     try:
-        result = run_experiment(args.experiment, quick=args.quick)
+        result = run_experiment(args.experiment, quick=args.quick, jobs=args.jobs)
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -51,7 +51,7 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_all(args) -> int:
-    results = run_all(quick=args.quick)
+    results = run_all(quick=args.quick, jobs=args.jobs)
     for result in results:
         _print_result(result)
         print()
@@ -84,11 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", choices=sorted(REGISTRY))
     p_run.add_argument("--quick", action="store_true", help="short measurement windows")
     p_run.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
+    p_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for sweep experiments (-1 = all CPUs); "
+        "rows are identical to a serial run",
+    )
     p_run.set_defaults(fn=_cmd_run)
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--quick", action="store_true")
     p_all.add_argument("--csv-dir", metavar="DIR")
+    p_all.add_argument("--jobs", type=int, default=None, metavar="N")
     p_all.set_defaults(fn=_cmd_all)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

@@ -39,6 +39,10 @@ from repro.cpu.costmodel import CostModel
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.tcp_header import TcpFlags
+
+#: Raw ACK|PSH bits — the only flags an aggregatable segment may carry (§3.1).
+_ACK_PSH_MASK = int(TcpFlags.ACK | TcpFlags.PSH)
+_NOT_ACK_PSH = ~_ACK_PSH_MASK
 from repro.tcp.seqmath import seq_ge
 from repro.core.config import OptimizationConfig
 
@@ -167,20 +171,28 @@ class AggregationEngine:
         """Consume the queue, aggregating; then flush (work conservation)."""
         consume = self.cpu.consume
         costs = self.costs
-        while self.queue:
-            pkt = self.queue.popleft()
-            self.stats.packets_in += 1
+        queue = self.queue
+        popleft = queue.popleft
+        stats = self.stats
+        bypass_reason = self._bypass_reason
+        aggregate = self._aggregate
+        mac_cost = costs.mac_rx_processing
+        match_cost = costs.aggr_match_per_packet
+        aggr_cat = Category.AGGR
+        while queue:
+            pkt = popleft()
+            stats.packets_in += 1
             # Early demultiplex: this is where the compulsory cache miss on
             # the cold packet header is now paid (it left the driver).
-            consume(costs.mac_rx_processing, Category.AGGR)
-            consume(costs.aggr_match_per_packet, Category.AGGR)
-            reason = self._bypass_reason(pkt)
+            consume(mac_cost, aggr_cat)
+            consume(match_cost, aggr_cat)
+            reason = bypass_reason(pkt)
             if reason is not None:
-                self.stats.note_bypass(reason)
+                stats.note_bypass(reason)
                 self._bypass(pkt, reason)
                 continue
-            self.stats.eligible += 1
-            self._aggregate(pkt)
+            stats.eligible += 1
+            aggregate(pkt)
         # Queue empty: the stack is about to go idle — flush everything.
         self._flush_all(work_conserving=True)
 
@@ -190,18 +202,19 @@ class AggregationEngine:
     def _bypass_reason(self, pkt: Packet) -> Optional[BypassReason]:
         if pkt.payload_len == 0:
             return BypassReason.PURE_ACK if pkt.is_pure_ack else BypassReason.ZERO_LENGTH
-        flags = pkt.tcp.flags
-        if flags & ~(TcpFlags.ACK | TcpFlags.PSH):
+        tcp = pkt.tcp
+        ip = pkt.ip
+        if int(tcp.flags) & _NOT_ACK_PSH:
             return BypassReason.SPECIAL_FLAGS
-        if pkt.ip.has_options:
+        if ip.has_options:
             return BypassReason.IP_OPTIONS
-        if pkt.ip.is_fragment:
+        if ip.is_fragment:
             return BypassReason.IP_FRAGMENT
         if not pkt.csum_verified:
             return BypassReason.NO_CSUM_OFFLOAD
-        if not pkt.ip.checksum_ok():
+        if not ip.checksum_ok():
             return BypassReason.BAD_IP_CHECKSUM
-        if not pkt.tcp.options.only_timestamp():
+        if not tcp.options.only_timestamp():
             return BypassReason.TCP_OPTIONS
         return None
 
@@ -209,23 +222,44 @@ class AggregationEngine:
     # aggregation proper
     # ------------------------------------------------------------------
     def _aggregate(self, pkt: Packet) -> None:
-        key = FlowKey.of_packet(pkt)
-        partial = self.table.get(key)
+        key = pkt.flow_key
+        table = self.table
+        partial = table.get(key)
         if partial is not None:
-            if partial.matches(pkt) and partial.count < self.opt.aggregation_limit:
+            tcp = pkt.tcp
+            ack = tcp.ack
+            limit = self.opt.aggregation_limit
+            # partial.matches() inlined (seq contiguous, ACK monotonic —
+            # seq_ge as one masked subtract — consistent timestamp presence).
+            if (
+                tcp.seq == partial.next_seq
+                and ((ack - partial.last_ack) & 0xFFFFFFFF) < 0x80000000
+                and (tcp.options.timestamp is not None) == partial.has_timestamp
+                and partial.count < limit
+            ):
                 self.cpu.consume(self.costs.aggr_chain_per_fragment, Category.AGGR)
-                partial.add_fragment(pkt)
+                # add_fragment() inlined.
+                skb = partial.skb
+                end = (tcp.seq + pkt.payload_len) & 0xFFFFFFFF
+                skb.frags.append(pkt)
+                skb.frag_acks.append(ack)
+                skb.frag_end_seqs.append(end)
+                skb.frag_windows.append(tcp.window)
+                partial.next_seq = end
+                partial.last_ack = ack
+                count = partial.count + 1
+                partial.count = count
                 self.stats.fragments_chained += 1
-                self.table.move_to_end(key)
-                if partial.count >= self.opt.aggregation_limit:
+                table.move_to_end(key)
+                if count >= limit:
                     self.stats.flush_limit += 1
-                    del self.table[key]
+                    del table[key]
                     self._finalize(partial)
                 return
             # Mismatch (gap / ACK regress / option change) or limit edge:
             # deliver the partial, then start fresh with this packet.
             self.stats.flush_mismatch += 1
-            del self.table[key]
+            del table[key]
             self._finalize(partial)
         self._start_partial(key, pkt)
 
@@ -275,7 +309,7 @@ class AggregationEngine:
     def _bypass(self, pkt: Packet, reason: BypassReason) -> None:
         """Deliver ``pkt`` unmodified, after flushing its flow's partial
         aggregate so per-flow ordering is preserved (§3.1)."""
-        key = FlowKey.of_packet(pkt)
+        key = pkt.flow_key
         partial = self.table.pop(key, None)
         if partial is not None:
             self.stats.flush_bypass_ordering += 1

@@ -15,12 +15,12 @@ the configuration decides the real cost.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, Tuple
 
 from repro.cpu.costmodel import CostModel
 from repro.cpu.locks import LockModel
-from repro.cpu.profiler import Profiler
-from repro.sim.engine import Event, Simulator
+from repro.cpu.profiler import _CATEGORY_INDEX, _intern_category, Profiler
+from repro.sim.engine import Simulator
 
 
 class Cpu:
@@ -58,7 +58,7 @@ class Cpu:
         self.busy_until: float = 0.0
         self.busy_cycles: float = 0.0
         self._tasks: Deque[Tuple[Callable[..., Any], tuple]] = deque()
-        self._drain_event: Optional[Event] = None
+        self._drain_scheduled = False
         self._running_task = False
 
     # ------------------------------------------------------------------
@@ -70,13 +70,14 @@ class Cpu:
         self._schedule_drain()
 
     def _schedule_drain(self) -> None:
-        if self._drain_event is not None or self._running_task or not self._tasks:
+        if self._drain_scheduled or self._running_task or not self._tasks:
             return
         start = max(self.sim.now, self.busy_until)
-        self._drain_event = self.sim.at(start, self._drain)
+        self._drain_scheduled = True
+        self.sim.call_at(start, self._drain)
 
     def _drain(self) -> None:
-        self._drain_event = None
+        self._drain_scheduled = False
         if not self._tasks:
             return
         fn, args = self._tasks.popleft()
@@ -92,14 +93,30 @@ class Cpu:
     def consume(self, cycles: float, category: str) -> None:
         """Charge ``cycles`` (nominal) to ``category`` and advance the clock.
 
-        SMP lock inflation is applied here.
+        SMP lock inflation is applied here.  The profiler charge is inlined
+        (rather than calling :meth:`Profiler.add`) because this method runs
+        several times per simulated packet, millions of times per run.
         """
         if cycles <= 0:
             return
-        real = self.locks.inflate(category, cycles)
-        self.profiler.add(category, real)
-        self.busy_cycles += real
-        self.busy_until += real / self.freq_hz
+        locks = self.locks
+        if locks.enabled:
+            cycles = cycles * locks.factors.get(category, 1.0)
+        prof = self.profiler
+        idx = _CATEGORY_INDEX.get(category)
+        if idx is None:
+            idx = _intern_category(category)
+        c = prof._cycles
+        if idx >= len(c):
+            c.extend([0.0] * (idx + 1 - len(c)))
+        v = c[idx]
+        c[idx] = v + cycles
+        if v == 0.0:
+            touched = prof._touched
+            if idx not in touched:
+                touched.append(idx)
+        self.busy_cycles += cycles
+        self.busy_until += cycles / self.freq_hz
 
     # ------------------------------------------------------------------
     # completion-time helpers
@@ -109,12 +126,13 @@ class Cpu:
         """The simulation time at which work consumed so far completes."""
         return max(self.busy_until, self.sim.now)
 
-    def defer(self, fn: Callable[..., Any], *args: Any) -> Event:
+    def defer(self, fn: Callable[..., Any], *args: Any) -> None:
         """Schedule an effect at the completion time of work consumed so far.
 
         Used for "the packet hits the wire once the tx routine finishes".
+        Deferred effects are fire-and-forget: no cancellation token is built.
         """
-        return self.sim.at(self.now_done, fn, *args)
+        self.sim.call_at(self.now_done, fn, *args)
 
     def idle(self) -> bool:
         """True when no task is running or queued and the clock has caught up."""

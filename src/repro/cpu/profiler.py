@@ -5,12 +5,33 @@ the :class:`~repro.cpu.categories.Category` names.  Experiments snapshot the
 profiler before and after a measurement window and report
 *cycles-per-network-packet* breakdowns — the Y axis of the paper's figures
 3, 4, 6, 8, 9, 10, and 11.
+
+``add`` is on the per-packet hot path (several charges per packet, millions
+per run), so categories are interned to integer indices once, globally, and
+each profiler keeps a flat list of floats indexed by category.  The mapping
+view (``cycles``) is reconstructed only when read — snapshots, tests, and
+figure code see the same dict the old dict-backed implementation produced,
+in the same first-charge order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+#: Global category interning table: name -> index, shared by all profilers.
+_CATEGORY_INDEX: Dict[str, int] = {}
+#: Interned names, indexed by category index.
+_CATEGORY_NAMES: List[str] = []
+
+
+def _intern_category(category: str) -> int:
+    idx = _CATEGORY_INDEX.get(category)
+    if idx is None:
+        idx = len(_CATEGORY_NAMES)
+        _CATEGORY_INDEX[category] = idx
+        _CATEGORY_NAMES.append(category)
+    return idx
 
 
 @dataclass
@@ -58,8 +79,14 @@ class ProfileSnapshot:
 class Profiler:
     """Accumulates cycles per category plus packet counters."""
 
+    __slots__ = ("_cycles", "_touched", "network_packets", "host_packets", "acks_sent")
+
     def __init__(self) -> None:
-        self.cycles: Dict[str, float] = {}
+        #: Flat per-category accumulators, indexed by the interned index.
+        self._cycles: List[float] = [0.0] * len(_CATEGORY_NAMES)
+        #: Indices in first-charge order — preserves the key order the old
+        #: dict-backed profiler exposed (figure code iterates ``cycles``).
+        self._touched: List[int] = []
         #: Network-level data packets that entered receive processing.
         self.network_packets = 0
         #: Host-level packets delivered to the TCP layer (≤ network_packets
@@ -69,7 +96,26 @@ class Profiler:
         self.acks_sent = 0
 
     def add(self, category: str, cycles: float) -> None:
-        self.cycles[category] = self.cycles.get(category, 0.0) + cycles
+        idx = _CATEGORY_INDEX.get(category)
+        if idx is None:
+            idx = _intern_category(category)
+        c = self._cycles
+        if idx >= len(c):
+            c.extend([0.0] * (idx + 1 - len(c)))
+        v = c[idx]
+        c[idx] = v + cycles
+        if v == 0.0:
+            # First charge for this category (the steady state never takes
+            # this branch — accumulated cycles only grow).
+            touched = self._touched
+            if idx not in touched:
+                touched.append(idx)
+
+    @property
+    def cycles(self) -> Dict[str, float]:
+        """Category -> cycles mapping, reconstructed in first-charge order."""
+        c = self._cycles
+        return {_CATEGORY_NAMES[i]: c[i] for i in self._touched}
 
     def count_network_packet(self, n: int = 1) -> None:
         self.network_packets += n
@@ -82,7 +128,7 @@ class Profiler:
 
     def snapshot(self, time: float) -> ProfileSnapshot:
         return ProfileSnapshot(
-            cycles=dict(self.cycles),
+            cycles=self.cycles,
             network_packets=self.network_packets,
             host_packets=self.host_packets,
             acks_sent=self.acks_sent,

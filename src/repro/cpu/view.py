@@ -35,11 +35,17 @@ class CpuView:
         self.scale_map = scale_map or {}
         self.costs = costs if costs is not None else cpu.costs
         self.name = name
+        self._cpu_consume = cpu.consume
 
     # ---- the Cpu interface used by kernel/driver/aggregation code ----
     def consume(self, cycles: float, category: str) -> None:
-        scaled = cycles * self.scale_map.get(category, 1.0)
-        self._cpu.consume(scaled, self.category_map.get(category, category))
+        scale_map = self.scale_map
+        if scale_map:
+            cycles = cycles * scale_map.get(category, 1.0)
+        category_map = self.category_map
+        if category_map:
+            category = category_map.get(category, category)
+        self._cpu_consume(cycles, category)
 
     def submit(self, fn, *args) -> None:
         self._cpu.submit(fn, *args)

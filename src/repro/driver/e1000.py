@@ -27,6 +27,7 @@ from repro.buffers.skbuff import SkBuff
 from repro.core.ack_offload import expand_template
 from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
+from repro.net.ethernet import ETH_HEADER_LEN
 from repro.net.packet import Packet
 from repro.nic.nic import Nic
 
@@ -83,13 +84,19 @@ class E1000Driver:
             self.nic.poll_ring()
             return
         self.stats.rx_packets += len(pkts)
+        prof = self.cpu.profiler
+        rx_cost = costs.driver_rx_per_packet
+        misc_cost = costs.misc_per_network_packet
+        driver_cat = Category.DRIVER
+        misc_cat = Category.MISC
         for pkt in pkts:
             # Descriptor/DMA handling and timer bookkeeping are per wire
             # frame even under hardware LRO (the NIC burns one descriptor
             # per frame); lro_segs is 1 everywhere else.
-            self.cpu.profiler.count_network_packet(pkt.lro_segs)
-            consume(costs.driver_rx_per_packet * pkt.lro_segs, Category.DRIVER)
-            consume(costs.misc_per_network_packet * pkt.lro_segs, Category.MISC)
+            segs = pkt.lro_segs
+            prof.network_packets += segs
+            consume(rx_cost * segs, driver_cat)
+            consume(misc_cost * segs, misc_cat)
         if self.aggregation:
             # §3.5: raw hand-off — no sk_buff, no MAC processing here.
             self.kernel.aggregator.enqueue(pkts)
@@ -137,8 +144,16 @@ class E1000Driver:
             seg.tcp.seq = (pkt.tcp.seq + offset) & 0xFFFFFFFF
             seg.payload = pkt.payload[offset : offset + length] if pkt.payload is not None else None
             seg.payload_len = length
-            seg.ip.total_length = seg.ip_len
-            seg.ip.refresh_checksum()
+            total = seg.ip_len
+            seg.ip.total_length = total
+            seg._wire_len = ETH_HEADER_LEN + total
+            if seg.payload is None:
+                # Length-only mode: hardware-split headers are valid by
+                # construction; materializing the checksum per segment is
+                # the single hottest arithmetic in a TSO run.
+                seg.ip.defer_checksum()
+            else:
+                seg.ip.refresh_checksum()
             segments.append(seg)
             offset += length
         return segments

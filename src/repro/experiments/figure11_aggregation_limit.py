@@ -8,11 +8,12 @@ overhead and y the per-packet overhead that aggregation divides.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Tuple
 
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import ExperimentResult, window
 from repro.host.configs import linux_up_config
+from repro.parallel import run_points
 from repro.workloads.stream import run_stream_experiment
 
 FULL_LIMITS = (1, 2, 3, 4, 6, 8, 12, 16, 20, 25, 30, 35)
@@ -21,20 +22,32 @@ QUICK_LIMITS = (1, 2, 4, 8, 20, 35)
 PAPER_EXPECTED = {"chosen_limit": 20, "model": "x + y/k"}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _measure_point(point: Tuple[int, float, float]) -> Tuple[float, float]:
+    """One sweep point: (limit, duration, warmup) -> (cycles/pkt, degree).
+
+    Module-level and returning plain floats so it is picklable for the
+    :mod:`repro.parallel` process pool.  The simulation is fully isolated
+    per call (own Simulator, machine, per-source seeded RNGs), so results
+    do not depend on which process runs the point.
+    """
+    limit, duration, warmup = point
+    result = run_stream_experiment(
+        linux_up_config(),
+        OptimizationConfig.optimized(aggregation_limit=limit),
+        duration=duration,
+        warmup=warmup,
+    )
+    return result.cycles_per_packet, result.aggregation_degree
+
+
+def run(quick: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     duration, warmup = window(quick)
     limits: List[int] = list(QUICK_LIMITS if quick else FULL_LIMITS)
-    measured = {}
-    degrees = {}
-    for limit in limits:
-        result = run_stream_experiment(
-            linux_up_config(),
-            OptimizationConfig.optimized(aggregation_limit=limit),
-            duration=duration,
-            warmup=warmup,
-        )
-        measured[limit] = result.cycles_per_packet
-        degrees[limit] = result.aggregation_degree
+    outcomes = run_points(
+        _measure_point, [(limit, duration, warmup) for limit in limits], jobs=jobs
+    )
+    measured = {limit: cyc for limit, (cyc, _) in zip(limits, outcomes)}
+    degrees = {limit: deg for limit, (_, deg) in zip(limits, outcomes)}
 
     # Least-squares fit of the paper's analytic model (§5.2):
     # cycles = x + y * (1/k), evaluated at the *achieved* aggregation degree.

@@ -8,9 +8,12 @@ saturation ~4660 Mb/s).
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import ExperimentResult, window
 from repro.host.configs import linux_smp_config
+from repro.parallel import run_points
 from repro.workloads.stream import run_stream_experiment
 
 FULL_COUNTS = (5, 20, 50, 100, 200, 300, 400)
@@ -19,28 +22,38 @@ QUICK_COUNTS = (5, 50, 400)
 PAPER_EXPECTED = {"min_gain_at_400": 0.40}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def _measure_point(point: Tuple[int, float, float]) -> Dict[str, float]:
+    """One sweep point: (connections, duration, warmup) -> one result row.
+
+    Runs the baseline and optimized simulations for one connection count.
+    Module-level and returning a plain dict so it is picklable for the
+    :mod:`repro.parallel` process pool; each simulation is fully isolated
+    (own Simulator / machine / per-source seeded RNGs).
+    """
+    n, duration, warmup = point
+    base = run_stream_experiment(
+        linux_smp_config(), OptimizationConfig.baseline(),
+        n_connections=n, duration=duration, warmup=warmup,
+    )
+    opt = run_stream_experiment(
+        linux_smp_config(), OptimizationConfig.optimized(),
+        n_connections=n, duration=duration, warmup=warmup,
+    )
+    return {
+        "connections": n,
+        "Original Mb/s": base.throughput_mbps,
+        "Optimized Mb/s": opt.throughput_mbps,
+        "gain %": 100 * (opt.throughput_mbps / base.throughput_mbps - 1),
+        "aggregation degree": opt.aggregation_degree,
+    }
+
+
+def run(quick: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
     duration, warmup = window(quick)
     counts = QUICK_COUNTS if quick else FULL_COUNTS
-    rows = []
-    for n in counts:
-        base = run_stream_experiment(
-            linux_smp_config(), OptimizationConfig.baseline(),
-            n_connections=n, duration=duration, warmup=warmup,
-        )
-        opt = run_stream_experiment(
-            linux_smp_config(), OptimizationConfig.optimized(),
-            n_connections=n, duration=duration, warmup=warmup,
-        )
-        rows.append(
-            {
-                "connections": n,
-                "Original Mb/s": base.throughput_mbps,
-                "Optimized Mb/s": opt.throughput_mbps,
-                "gain %": 100 * (opt.throughput_mbps / base.throughput_mbps - 1),
-                "aggregation degree": opt.aggregation_degree,
-            }
-        )
+    rows = run_points(
+        _measure_point, [(n, duration, warmup) for n in counts], jobs=jobs
+    )
     return ExperimentResult(
         experiment_id="figure12",
         title="Scalability with concurrent connections (SMP)",

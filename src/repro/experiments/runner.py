@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import inspect
+from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     ablation_limit_one,
@@ -50,17 +51,26 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
-    """Run one registered experiment by id (e.g. ``"figure7"``)."""
+def run_experiment(
+    experiment_id: str, quick: bool = False, jobs: Optional[int] = None
+) -> ExperimentResult:
+    """Run one registered experiment by id (e.g. ``"figure7"``).
+
+    ``jobs`` requests process-level parallelism for sweep experiments that
+    support it (see :mod:`repro.parallel`); experiments without a ``jobs``
+    parameter simply run serially.  Results are identical either way.
+    """
     try:
         fn = REGISTRY[experiment_id]
     except KeyError:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
+    if jobs is not None and "jobs" in inspect.signature(fn).parameters:
+        return fn(quick=quick, jobs=jobs)
     return fn(quick=quick)
 
 
-def run_all(quick: bool = True) -> List[ExperimentResult]:
+def run_all(quick: bool = True, jobs: Optional[int] = None) -> List[ExperimentResult]:
     """Run every experiment; quick fidelity by default."""
-    return [run_experiment(eid, quick=quick) for eid in REGISTRY]
+    return [run_experiment(eid, quick=quick, jobs=jobs) for eid in REGISTRY]

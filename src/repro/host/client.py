@@ -88,11 +88,15 @@ class ClientHost:
     # ------------------------------------------------------------------
     def rx(self, pkt: Packet) -> None:
         """Link sink: demultiplex an inbound packet to its connection."""
-        if pkt.ip.dst_ip != self.ip:
+        ip = pkt.ip
+        tcp = pkt.tcp
+        if ip.dst_ip != self.ip:
             return
-        key = FlowKey(pkt.ip.dst_ip, pkt.tcp.dst_port, pkt.ip.src_ip, pkt.tcp.src_port)
-        conn = self.connections.get(key)
+        # Plain tuples hash/compare equal to FlowKey (a NamedTuple), so the
+        # hot-path lookup skips constructing one.
+        conn = self.connections.get((ip.dst_ip, tcp.dst_port, ip.src_ip, tcp.src_port))
         if conn is None:
+            key = FlowKey(ip.dst_ip, tcp.dst_port, ip.src_ip, tcp.src_port)
             factory = self.listeners.get(pkt.tcp.dst_port)
             if factory is None:
                 return  # no listener: silently drop (no RST generation)

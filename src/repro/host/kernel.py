@@ -324,7 +324,8 @@ class Kernel:
         consume(costs.ip_tx, Category.TX)
         consume(costs.skb_alloc, Category.BUFFER)
         consume(costs.non_proto_tx, Category.NON_PROTO)
-        pkt.ip.refresh_checksum()
+        # The header leaves _build_packet either materialized (byte-accurate
+        # mode) or deferred-valid (length-only mode); no recompute needed.
         self._driver_for(conn).tx(pkt)
         consume(costs.skb_free, Category.BUFFER)
 
@@ -349,6 +350,5 @@ class Kernel:
             consume(costs.skb_alloc, Category.BUFFER)
             consume(costs.non_proto_tx, Category.NON_PROTO)
             pkt = conn.build_ack_packet(ack, event)
-            pkt.ip.refresh_checksum()
             driver.tx(pkt, pure_ack=True)
             consume(costs.skb_free, Category.BUFFER)

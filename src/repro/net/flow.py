@@ -24,8 +24,16 @@ class FlowKey(NamedTuple):
 
     @classmethod
     def of_packet(cls, packet) -> "FlowKey":
-        """Extract the flow key from a :class:`~repro.net.packet.Packet`."""
-        return cls(packet.ip.src_ip, packet.tcp.src_port, packet.ip.dst_ip, packet.tcp.dst_port)
+        """Extract the flow key from a :class:`~repro.net.packet.Packet`.
+
+        Packets cache their key on first use; anything packet-shaped without
+        a ``flow_key`` attribute (sk_buffs, capture records) falls back to
+        field extraction.
+        """
+        try:
+            return packet.flow_key
+        except AttributeError:
+            return cls(packet.ip.src_ip, packet.tcp.src_port, packet.ip.dst_ip, packet.tcp.dst_port)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -42,6 +42,10 @@ class IPv4Header:
     src_ip: int = 0
     dst_ip: int = 0
     options: bytes = b""
+    #: True while the stored ``checksum`` has not been materialized yet.
+    #: Length-only senders defer the (real) checksum computation; the header
+    #: is valid by construction until something serializes or rewrites it.
+    checksum_deferred: bool = field(default=False, compare=False, repr=False)
 
     @property
     def header_len(self) -> int:
@@ -59,6 +63,8 @@ class IPv4Header:
     # ------------------------------------------------------------------
     def pack(self, fill_checksum: bool = True) -> bytes:
         """Serialize the header; optionally compute and embed the checksum."""
+        if self.checksum_deferred and not fill_checksum:
+            self.refresh_checksum()
         ihl = 5 + (len(self.options) + 3) // 4
         options = self.options + b"\x00" * (ihl * 4 - IP_HEADER_LEN - len(self.options))
         head = _IP_STRUCT.pack(
@@ -110,30 +116,56 @@ class IPv4Header:
 
     def refresh_checksum(self) -> None:
         """Recompute and store the header checksum (after a rewrite)."""
+        self.checksum_deferred = False
         self.checksum = self.compute_checksum()
 
+    def defer_checksum(self) -> None:
+        """Mark the checksum as lazily valid (length-only fast path).
+
+        The header is treated as carrying the checksum the sender would have
+        computed; :meth:`checksum_ok` accepts it and serialization
+        materializes it on demand.  Callers that *rewrite* header fields must
+        still call :meth:`refresh_checksum` afterwards, exactly as before.
+        """
+        self.checksum_deferred = True
+
     def checksum_ok(self) -> bool:
-        """Verify the stored checksum against the header contents."""
+        """Verify the stored checksum against the header contents.
+
+        A deferred checksum is valid by construction — it stands for the
+        value the sender would have computed over these exact fields.
+        """
+        if self.checksum_deferred:
+            return True
         return self.checksum == self.compute_checksum()
 
     def copy(self) -> "IPv4Header":
-        return IPv4Header(
-            version=self.version,
-            ihl=self.ihl,
-            tos=self.tos,
-            total_length=self.total_length,
-            ident=self.ident,
-            frag=self.frag,
-            ttl=self.ttl,
-            proto=self.proto,
-            checksum=self.checksum,
-            src_ip=self.src_ip,
-            dst_ip=self.dst_ip,
-            options=self.options,
-        )
+        # Field-by-field reconstruction through the dataclass constructor is
+        # hot (TSO splits one copy per wire segment); a dict snapshot carries
+        # every field, including the deferred-checksum state, in one C call.
+        clone = IPv4Header.__new__(IPv4Header)
+        clone.__dict__.update(self.__dict__)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"IPv4({ip_to_str(self.src_ip)} -> {ip_to_str(self.dst_ip)},"
             f" len={self.total_length}, proto={self.proto})"
         )
+
+
+def _checksum_get(self: IPv4Header) -> int:
+    return self._checksum_value
+
+
+def _checksum_set(self: IPv4Header, value: int) -> None:
+    # An explicit store is a statement about the wire value (including tests
+    # that corrupt it), so it always ends any deferral.
+    self._checksum_value = value
+    self.checksum_deferred = False
+
+
+# ``checksum`` must stay an ordinary dataclass field for construction order
+# and signature, but assignments need to clear ``checksum_deferred`` — so the
+# attribute is swapped for a property after the dataclass is built.
+IPv4Header.checksum = property(_checksum_get, _checksum_set)

@@ -15,8 +15,13 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net.ethernet import ETH_HEADER_LEN, ETH_P_IP, EthernetHeader
+from repro.net.flow import FlowKey
 from repro.net.ip import IP_HEADER_LEN, IPPROTO_TCP, IPv4Header
-from repro.net.tcp_header import TcpFlags, TcpHeader, TcpOptions
+from repro.net.tcp_header import TCP_BASE_HEADER_LEN, TcpFlags, TcpHeader, TcpOptions
+
+#: Raw flag bits, for hot-path tests without enum-operator overhead.
+_FLAGS_ACK = int(TcpFlags.ACK)
+_FLAGS_SYN_FIN_RST = int(TcpFlags.SYN | TcpFlags.FIN | TcpFlags.RST)
 
 
 class Packet:
@@ -32,6 +37,8 @@ class Packet:
         "rx_time",
         "created_time",
         "lro_segs",
+        "_wire_len",
+        "_flow_key",
     )
 
     def __init__(
@@ -60,6 +67,9 @@ class Packet:
         self.created_time: Optional[float] = None
         #: Number of wire packets this packet stands for (hardware LRO > 1).
         self.lro_segs = 1
+        #: Lazily cached geometry/flow identity (see ``wire_len``/``flow_key``).
+        self._wire_len: Optional[int] = None
+        self._flow_key = None
 
     # ------------------------------------------------------------------
     # geometry
@@ -71,8 +81,30 @@ class Packet:
 
     @property
     def wire_len(self) -> int:
-        """MAC-frame length (without preamble/FCS/IFG, which the link adds)."""
-        return ETH_HEADER_LEN + self.ip_len
+        """MAC-frame length (without preamble/FCS/IFG, which the link adds).
+
+        Cached on first use — headers and payload length are fixed once a
+        packet is on the wire.  The rare mutators (hardware LRO merging)
+        must call :meth:`invalidate_geometry`.
+        """
+        wl = self._wire_len
+        if wl is None:
+            wl = self._wire_len = ETH_HEADER_LEN + self.ip_len
+        return wl
+
+    @property
+    def flow_key(self) -> FlowKey:
+        """The packet's 4-tuple flow key, computed once and cached."""
+        fk = self._flow_key
+        if fk is None:
+            fk = self._flow_key = FlowKey(
+                self.ip.src_ip, self.tcp.src_port, self.ip.dst_ip, self.tcp.dst_port
+            )
+        return fk
+
+    def invalidate_geometry(self) -> None:
+        """Drop cached lengths after a mutation that changes them (LRO merge)."""
+        self._wire_len = None
 
     @property
     def end_seq(self) -> int:
@@ -82,11 +114,10 @@ class Packet:
     @property
     def is_pure_ack(self) -> bool:
         """A zero-length segment with ACK set and no SYN/FIN/RST."""
-        return (
-            self.payload_len == 0
-            and TcpFlags.ACK in self.tcp.flags
-            and not (self.tcp.flags & (TcpFlags.SYN | TcpFlags.FIN | TcpFlags.RST))
-        )
+        if self.payload_len != 0:
+            return False
+        flags = int(self.tcp.flags)
+        return bool(flags & _FLAGS_ACK) and not (flags & _FLAGS_SYN_FIN_RST)
 
     # ------------------------------------------------------------------
     # serialization (used by correctness tests and the template-ACK driver)
@@ -116,17 +147,18 @@ class Packet:
         return cls(ip=ip, tcp=tcp, payload=payload, eth=eth)
 
     def copy(self) -> "Packet":
-        clone = Packet(
-            ip=self.ip.copy(),
-            tcp=self.tcp.copy(),
-            payload=self.payload,
-            payload_len=self.payload_len,
-            eth=self.eth.copy(),
-        )
+        clone = Packet.__new__(Packet)
+        clone.eth = self.eth.copy()
+        clone.ip = self.ip.copy()
+        clone.tcp = self.tcp.copy()
+        clone.payload = self.payload
+        clone.payload_len = self.payload_len
         clone.csum_verified = self.csum_verified
         clone.rx_time = self.rx_time
         clone.created_time = self.created_time
         clone.lro_segs = self.lro_segs
+        clone._wire_len = None
+        clone._flow_key = None
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -162,5 +194,76 @@ def make_data_segment(
     ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip)
     pkt = Packet(ip=ip, tcp=tcp, payload=payload, payload_len=payload_len)
     pkt.ip.total_length = pkt.ip_len
-    pkt.ip.refresh_checksum()
+    if payload is None:
+        # Length-only throughput mode: defer the (real) checksum arithmetic;
+        # the header is valid by construction until serialized or rewritten.
+        pkt.ip.defer_checksum()
+    else:
+        pkt.ip.refresh_checksum()
     return pkt
+
+
+class PacketTemplate:
+    """Pre-built header template for ACK-clocked senders (paper §4.2 spirit).
+
+    A TCP endpoint emits thousands of near-identical frames per flow: same
+    addresses, ports, and IP defaults, differing only in seq/ack/flags/
+    window/options.  Building each one through the dataclass constructors
+    re-derives all of that per packet.  A template snapshots the immutable
+    header fields once per connection; :meth:`make` stamps out packets by
+    cloning the snapshot and patching the variable fields.
+
+    Only valid for length-only packets (``payload is None``) — byte-accurate
+    senders go through the ordinary constructors.
+    """
+
+    __slots__ = ("_ip_fields", "_tcp_fields", "_eth", "_flow_key")
+
+    def __init__(self, src_ip: int, dst_ip: int, src_port: int, dst_port: int):
+        ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip)
+        ip.defer_checksum()
+        tcp = TcpHeader(src_port=src_port, dst_port=dst_port)
+        self._ip_fields = dict(ip.__dict__)
+        self._tcp_fields = dict(tcp.__dict__)
+        # The MAC header is never mutated in the simulation (Packet.copy
+        # clones it before any byte-level use), so one instance is shared by
+        # every packet stamped from this template.  Same for the flow key.
+        self._eth = EthernetHeader()
+        self._flow_key = FlowKey(src_ip, src_port, dst_ip, dst_port)
+
+    def make(
+        self,
+        seq: int,
+        ack: int,
+        flags: TcpFlags,
+        window: int,
+        payload_len: int = 0,
+        options: Optional[TcpOptions] = None,
+    ) -> Packet:
+        ip = IPv4Header.__new__(IPv4Header)
+        ip.__dict__.update(self._ip_fields)
+        tcp = TcpHeader.__new__(TcpHeader)
+        tcp.__dict__.update(self._tcp_fields)
+        tcp.seq = seq & 0xFFFFFFFF
+        tcp.ack = ack & 0xFFFFFFFF
+        tcp.flags = flags
+        tcp.window = window
+        if options is None:
+            options = TcpOptions()
+        tcp.options = options
+        # Template headers are always option-less IP (ihl=5), base TCP.
+        total = IP_HEADER_LEN + TCP_BASE_HEADER_LEN + options.encoded_len() + payload_len
+        ip.total_length = total
+        pkt = Packet.__new__(Packet)
+        pkt.eth = self._eth
+        pkt.ip = ip
+        pkt.tcp = tcp
+        pkt.payload = None
+        pkt.payload_len = payload_len
+        pkt.csum_verified = False
+        pkt.rx_time = None
+        pkt.created_time = None
+        pkt.lro_segs = 1
+        pkt._wire_len = ETH_HEADER_LEN + total
+        pkt._flow_key = self._flow_key
+        return pkt

@@ -59,6 +59,19 @@ class TcpOptions:
     timestamp: Optional[Tuple[int, int]] = None
     sack_blocks: List[Tuple[int, int]] = field(default_factory=list)
 
+    @staticmethod
+    def timestamp_only(timestamp: Optional[Tuple[int, int]]) -> "TcpOptions":
+        """Fast constructor for the hot path: a timestamp-only options block
+        (bypasses the dataclass ``__init__``, which per-packet senders hit
+        tens of thousands of times per simulated second)."""
+        opts = TcpOptions.__new__(TcpOptions)
+        opts.mss = None
+        opts.window_scale = None
+        opts.sack_permitted = False
+        opts.timestamp = timestamp
+        opts.sack_blocks = []
+        return opts
+
     def only_timestamp(self) -> bool:
         """True when the timestamp option is the only option present.
 
@@ -75,8 +88,24 @@ class TcpOptions:
         return self.only_timestamp() and self.timestamp is None
 
     def encoded_len(self) -> int:
-        """Length in bytes of the packed options (padded to 4-byte multiple)."""
-        return len(self.pack())
+        """Length in bytes of the packed options (padded to 4-byte multiple).
+
+        Computed arithmetically — it must stay consistent with :meth:`pack`
+        (the property test in ``tests/test_net_headers.py`` guards this) and
+        is on the per-packet hot path via ``TcpHeader.header_len``.
+        """
+        n = 0
+        if self.mss is not None:
+            n += 4
+        if self.window_scale is not None:
+            n += 3
+        if self.sack_permitted:
+            n += 2
+        if self.timestamp is not None:
+            n += TCP_TIMESTAMP_OPTION_LEN
+        if self.sack_blocks:
+            n += 4 + 8 * len(self.sack_blocks)
+        return (n + 3) & ~3
 
     def pack(self) -> bytes:
         out = bytearray()
@@ -129,13 +158,10 @@ class TcpOptions:
         return opts
 
     def copy(self) -> "TcpOptions":
-        return TcpOptions(
-            mss=self.mss,
-            window_scale=self.window_scale,
-            sack_permitted=self.sack_permitted,
-            timestamp=self.timestamp,
-            sack_blocks=list(self.sack_blocks),
-        )
+        clone = TcpOptions.__new__(TcpOptions)
+        clone.__dict__.update(self.__dict__)
+        clone.sack_blocks = list(self.sack_blocks)
+        return clone
 
 
 @dataclass
@@ -206,17 +232,10 @@ class TcpHeader:
         return internet_checksum(data)
 
     def copy(self) -> "TcpHeader":
-        return TcpHeader(
-            src_port=self.src_port,
-            dst_port=self.dst_port,
-            seq=self.seq,
-            ack=self.ack,
-            flags=self.flags,
-            window=self.window,
-            checksum=self.checksum,
-            urgent=self.urgent,
-            options=self.options.copy(),
-        )
+        clone = TcpHeader.__new__(TcpHeader)
+        clone.__dict__.update(self.__dict__)
+        clone.options = self.options.copy()
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         names = "|".join(f.name for f in TcpFlags if f in self.flags) or "0"

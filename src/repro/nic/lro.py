@@ -79,14 +79,14 @@ class LroEngine:
     def accept(self, pkt: Packet) -> List[Packet]:
         out: List[Packet] = []
         if not self._mergeable(pkt):
-            key = FlowKey.of_packet(pkt)
+            key = pkt.flow_key
             session = self.table.pop(key, None)
             if session is not None:
                 out.append(self._close(session))
             out.append(pkt)
             return out
 
-        key = FlowKey.of_packet(pkt)
+        key = pkt.flow_key
         session = self.table.get(key)
         if session is not None:
             fits = (
@@ -120,6 +120,7 @@ class LroEngine:
     def _merge(self, session: _LroSession, pkt: Packet) -> None:
         head = session.packet
         head.payload_len += pkt.payload_len
+        head.invalidate_geometry()
         head.tcp.ack = pkt.tcp.ack
         head.tcp.window = pkt.tcp.window
         if pkt.tcp.options.timestamp is not None:

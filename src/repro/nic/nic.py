@@ -17,7 +17,7 @@ from typing import Optional
 from repro.net.packet import Packet
 from repro.nic.lro import LroEngine
 from repro.nic.ring import RxRing
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.link import Link
 
 
@@ -54,7 +54,7 @@ class Nic:
 
         self.driver = None  # set by the driver when it binds
         self.tx_link: Optional[Link] = None
-        self._irq_event: Optional[Event] = None
+        self._irq_pending = False
         self._last_irq_time = -1e9
         #: Adaptive interrupt moderation (e1000 AIM): low arrival rates
         #: (latency-sensitive traffic) get immediate interrupts; bulk
@@ -79,11 +79,14 @@ class Nic:
     # ------------------------------------------------------------------
     def rx_frame(self, pkt: Packet) -> None:
         """Link sink: DMA an arriving frame into the ring."""
-        self.stats.rx_frames += 1
-        pkt.rx_time = self.sim.now
-        interarrival = min(self.sim.now - self._last_arrival, 1.0)
+        stats = self.stats
+        stats.rx_frames += 1
+        now = self.sim.now
+        pkt.rx_time = now
+        gap = now - self._last_arrival
+        interarrival = gap if gap < 1.0 else 1.0
         first_frame = self._last_arrival < 0
-        self._last_arrival = self.sim.now
+        self._last_arrival = now
         if first_frame:
             pass  # no inter-arrival estimate yet; stay in latency mode
         elif self._ewma_interarrival >= 1.0:
@@ -98,21 +101,21 @@ class Nic:
             pkt.csum_verified = True
             self.stats.rx_csum_offloaded += 1
         if self.lro is not None:
-            ready = self.lro.accept(pkt)
-        else:
-            ready = [pkt]
-        posted_any = False
-        for out in ready:
-            if self.ring.post(out):
-                posted_any = True
-            else:
-                self.stats.rx_dropped_ring_full += 1
-        if posted_any or self.lro is not None:
+            posted_any = False
+            for out in self.lro.accept(pkt):
+                if self.ring.post(out):
+                    posted_any = True
+                else:
+                    stats.rx_dropped_ring_full += 1
             self._maybe_raise_interrupt()
+        elif self.ring.post(pkt):
+            self._maybe_raise_interrupt()
+        else:
+            stats.rx_dropped_ring_full += 1
 
     def _maybe_raise_interrupt(self) -> None:
         """Raise an interrupt, subject to (adaptive) ITR moderation."""
-        if self._irq_event is not None:
+        if self._irq_pending:
             return  # an interrupt is already pending
         # Bulk vs latency classification is byte-rate aware (like e1000 AIM's
         # throughput classes): large frames at a low packet rate still count
@@ -123,10 +126,11 @@ class Nic:
         else:
             earliest = self._last_irq_time + self.itr_interval_s
             delay = max(0.0, earliest - self.sim.now)
-        self._irq_event = self.sim.schedule(delay, self._fire_interrupt)
+        self._irq_pending = True
+        self.sim.post(delay, self._fire_interrupt)
 
     def _fire_interrupt(self) -> None:
-        self._irq_event = None
+        self._irq_pending = False
         self._last_irq_time = self.sim.now
         self.stats.interrupts += 1
         if self.lro is not None:

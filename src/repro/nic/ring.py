@@ -40,13 +40,15 @@ class RxRing:
 
     def post(self, pkt: Packet) -> bool:
         """DMA one packet into the ring; False (tail-drop) when full."""
-        if self.full:
+        slots = self._slots
+        occupancy = len(slots)
+        if occupancy >= self.capacity:
             self.dropped += 1
             return False
-        self._slots.append(pkt)
+        slots.append(pkt)
         self.posted += 1
-        if len(self._slots) > self.peak_occupancy:
-            self.peak_occupancy = len(self._slots)
+        if occupancy >= self.peak_occupancy:
+            self.peak_occupancy = occupancy + 1
         return True
 
     def drain(self, max_packets: int = 0) -> List[Packet]:

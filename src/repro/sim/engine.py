@@ -1,8 +1,19 @@
 """Event-heap simulator core.
 
-The simulator keeps a priority queue of :class:`Event` objects ordered by
+The simulator keeps a priority queue of plain tuples ordered by
 (time, sequence-number).  The sequence number makes ordering deterministic for
 events scheduled at the same instant: they fire in scheduling order.
+
+Heap entries are ``(time, seq, fn, args, handle)`` tuples, so ordering is
+resolved by the C tuple comparison in ``heapq`` without ever calling back
+into Python.  ``handle`` is ``None`` on the fast path
+(:meth:`Simulator.call_at` / :meth:`Simulator.post`); a per-event
+:class:`Event` cancellation token is only allocated when the caller needs
+one (:meth:`Simulator.schedule` / :meth:`Simulator.at`).  Cancellation is
+lazy — the heap entry stays in place and is skipped when it surfaces — but
+the heap is compacted whenever cancelled entries outnumber live ones, so a
+workload that arms and disarms many timers (TCP RTO/delack) cannot grow the
+heap without bound.
 
 Time is a float in *seconds*.  All subsystems (links, NICs, CPUs, TCP timers)
 schedule callbacks through one shared simulator instance.
@@ -11,7 +22,11 @@ schedule callbacks through one shared simulator instance.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
+
+#: Compact the heap when it holds more than this many cancelled entries and
+#: they outnumber the live ones.
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -19,35 +34,33 @@ class SimulationError(RuntimeError):
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellation token for a scheduled callback.
 
     Events are created through :meth:`Simulator.schedule` (or
     :meth:`Simulator.at`) and may be cancelled with :meth:`cancel`.
-    Cancellation is lazy: the heap entry stays in place and is skipped when it
-    surfaces.
+    Cancellation is lazy: the heap entry stays in place and is skipped when
+    it surfaces (subject to periodic compaction).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "cancelled", "_fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, sim: "Simulator"):
         self.time = time
         self.seq = seq
-        self.fn = fn
-        self.args = args
         self.cancelled = False
+        self._fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled or self._fired:
+            return
         self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        self._sim._on_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
-        return f"Event(t={self.time:.9f}, seq={self.seq}, {state}, fn={getattr(self.fn, '__name__', self.fn)!r})"
+        state = "fired" if self._fired else ("cancelled" if self.cancelled else "pending")
+        return f"Event(t={self.time:.9f}, seq={self.seq}, {state})"
 
 
 class Simulator:
@@ -63,16 +76,22 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        self._heap: List[Tuple[float, int, Callable[..., Any], tuple, Optional[Event]]] = []
         self._seq: int = 0
         self._events_fired: int = 0
+        self._pending: int = 0
+        self._cancelled: int = 0
         self._running: bool = False
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now.
+
+        Returns a cancellation token; use :meth:`post` when you will never
+        cancel, to skip allocating one.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
         return self.at(self.now + delay, fn, *args)
@@ -83,25 +102,79 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        ev = Event(time, self._seq, fn, args)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        seq = self._seq
+        self._seq = seq + 1
+        ev = Event(time, seq, self)
+        heapq.heappush(self._heap, (time, seq, fn, args, ev))
+        self._pending += 1
         return ev
+
+    def post(self, delay: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation token is built."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        self.call_at(self.now + delay, fn, *args)
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Fire-and-forget :meth:`at`: no cancellation token is built.
+
+        This is the hot path for wire deliveries and CPU task drains, which
+        are never cancelled.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, fn, args, None))
+        self._pending += 1
+
+    # ------------------------------------------------------------------
+    # cancellation bookkeeping
+    # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        self._pending -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled > _COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (ordering is unaffected).
+
+        Compaction is in place: ``run()`` holds a reference to the heap list
+        while firing events, so the list object must never be replaced.
+        """
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if entry[4] is None or not entry[4].cancelled
+        ]
+        heapq.heapify(heap)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Returns False when the heap is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            if ev.time < self.now:  # pragma: no cover - defensive
+        heap = self._heap
+        while heap:
+            time, _seq, fn, args, handle = heapq.heappop(heap)
+            if handle is not None:
+                if handle.cancelled:
+                    self._cancelled -= 1
+                    continue
+                handle._fired = True
+            if time < self.now:  # pragma: no cover - defensive
                 raise SimulationError("event heap time went backwards")
-            self.now = ev.time
+            self.now = time
+            self._pending -= 1
             self._events_fired += 1
-            ev.fn(*ev.args)
+            fn(*args)
             return True
         return False
 
@@ -109,25 +182,43 @@ class Simulator:
         """Run events until the heap drains, ``until`` is reached, or
         ``max_events`` have fired.
 
+        ``max_events`` and :attr:`events_fired` count only real firings —
+        cancelled entries skipped on the way count in neither, exactly as in
+        :meth:`step`.
+
         When ``until`` is given, the clock is advanced to exactly ``until``
         even if the last event fires earlier, so rate computations over the
         window are well defined.
         """
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
         fired = 0
+        # Hoist the None checks out of the loop: comparisons against +inf
+        # behave identically to "no bound".
+        time_bound = float("inf") if until is None else until
+        event_bound = float("inf") if max_events is None else max_events
         try:
-            while self._heap:
-                if max_events is not None and fired >= max_events:
-                    return
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                entry = heap[0]
+                handle = entry[4]
+                if handle is not None and handle.cancelled:
+                    heappop(heap)
+                    self._cancelled -= 1
                     continue
-                if until is not None and nxt.time > until:
+                time = entry[0]
+                if time > time_bound:
                     break
-                if not self.step():
-                    break
+                if fired >= event_bound:
+                    return
+                heappop(heap)
+                if handle is not None:
+                    handle._fired = True
+                self.now = time
+                self._pending -= 1
+                self._events_fired += 1
                 fired += 1
+                entry[2](*entry[3])
             if until is not None and self.now < until:
                 self.now = until
         finally:
@@ -138,8 +229,8 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events still queued (O(1))."""
+        return self._pending
 
     @property
     def events_fired(self) -> int:

@@ -87,10 +87,10 @@ class Link:
     # ------------------------------------------------------------------
     def wire_bytes(self, frame: Any) -> int:
         """Wire footprint of a frame: its MAC bytes plus fixed overhead."""
-        size = getattr(frame, "wire_len", None)
-        if size is None:
-            size = len(frame)
-        return size + ETHERNET_WIRE_OVERHEAD
+        try:
+            return frame.wire_len + ETHERNET_WIRE_OVERHEAD
+        except AttributeError:
+            return len(frame) + ETHERNET_WIRE_OVERHEAD
 
     def busy(self) -> bool:
         """True while a frame is still being serialized."""
@@ -108,18 +108,24 @@ class Link:
         while the link is busy queue behind the in-flight frame, so a sender
         that calls ``send`` faster than line rate is implicitly paced.
         """
-        wire = self.wire_bytes(frame)
-        start = max(self.sim.now, self._tx_free_at)
+        try:
+            wire = frame.wire_len + ETHERNET_WIRE_OVERHEAD
+        except AttributeError:
+            wire = len(frame) + ETHERNET_WIRE_OVERHEAD
+        now = self.sim.now
+        free = self._tx_free_at
+        start = now if now > free else free
         tx_time = wire * 8.0 / self.rate_bps
         done = start + tx_time
         self._tx_free_at = done
 
-        self.stats.frames_sent += 1
-        self.stats.bytes_sent += wire - ETHERNET_WIRE_OVERHEAD
-        self.stats.wire_bytes_sent += wire
+        stats = self.stats
+        stats.frames_sent += 1
+        stats.bytes_sent += wire - ETHERNET_WIRE_OVERHEAD
+        stats.wire_bytes_sent += wire
 
         if self.drop_prob > 0 and self.rng.random() < self.drop_prob:
-            self.stats.frames_dropped += 1
+            stats.frames_dropped += 1
             return done
 
         arrival = done + self.delay_s
@@ -127,7 +133,7 @@ class Link:
             arrival += self.reorder_delay_s
             self.stats.frames_reordered += 1
 
-        self.sim.at(arrival, self._deliver, frame)
+        self.sim.call_at(arrival, self._deliver, frame)
         return done
 
     def _deliver(self, frame: Any) -> None:

@@ -27,6 +27,9 @@ class ThroughputResult:
     ring_drops: int
     retransmits: int
     profile: Optional[ProfileSnapshot] = None
+    #: Simulator events fired across the whole run (warmup + measurement),
+    #: for the perf-benchmark harness (events/sec of the simulator itself).
+    events_fired: int = 0
 
     @property
     def cpu_scaled_mbps(self) -> float:

@@ -104,6 +104,7 @@ def run_stream_experiment(
         ring_drops=machine.total_ring_drops() - drops0,
         retransmits=_sender_retransmits(senders) - rtx0,
         profile=delta,
+        events_fired=sim.events_fired,
     )
 
 

@@ -1,0 +1,45 @@
+"""Determinism regression: the same experiment run twice in one process
+must produce bit-identical rows and an identical ``events_fired`` count.
+
+This is the contract every fast-path change must preserve (engine heap
+layout, template packets, interned profiler categories): optimizations may
+change *how fast* the simulator runs, never *what* it computes.  Running
+twice in one process also catches leaked module-level state (template
+caches, category interning, RNG reuse) that a single cold run would miss.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.config import OptimizationConfig
+from repro.experiments.runner import run_experiment
+from repro.host.configs import linux_up_config
+from repro.workloads.stream import build_stream_rig
+
+
+def _rows_json(result) -> str:
+    return json.dumps(result.rows, sort_keys=True, default=str)
+
+
+def test_figure03_quick_is_deterministic():
+    first = run_experiment("figure3", quick=True)
+    second = run_experiment("figure3", quick=True)
+    assert _rows_json(first) == _rows_json(second)
+
+
+def test_stream_rig_events_fired_is_deterministic():
+    """Two cold rigs must fire the same events and deliver the same bytes."""
+    outcomes = []
+    for _ in range(2):
+        sim, machine, _clients, _senders = build_stream_rig(
+            linux_up_config(), OptimizationConfig.optimized()
+        )
+        sim.run(until=0.05)
+        bytes_rx = sum(
+            sock.bytes_received for sock in machine.kernel.sockets.values()
+        )
+        outcomes.append((sim.events_fired, bytes_rx))
+    assert outcomes[0] == outcomes[1]
+    assert outcomes[0][0] > 0
+    assert outcomes[0][1] > 0

@@ -83,3 +83,54 @@ def test_checksums_equivalent_predicate():
     assert checksums_equivalent(0xFFFF, 0x0000)
     assert not checksums_equivalent(0x0000, 0x0001)
     assert not checksums_equivalent(0x1234, 0x1235)
+
+
+def test_update_u32_zero_representation_edge():
+    """0x0000 and 0xFFFF both encode a zero one's-complement sum (RFC 1624
+    §3 pitfall): incremental updates may land on either representation, and
+    the equivalence predicate — not ``==`` — must be used to compare."""
+    # A no-op update (old value == new value) must keep the checksum
+    # *equivalent*, whichever representation comes back.
+    for csum in (0x0000, 0xFFFF, 0x1234):
+        for value in (0, 1, 0xDEADBEEF, 0xFFFFFFFF):
+            assert checksums_equivalent(
+                checksum_update_u32(csum, value, value), csum
+            )
+
+
+def test_update_u32_randomized_matches_recompute():
+    """Randomized RFC 1624 property: incrementally patching a u32 anywhere
+    in a buffer always agrees with a full recompute (fixed seed)."""
+    import random
+
+    rng = random.Random(0x5EED)
+    for _ in range(200):
+        n_words = rng.randrange(4, 33)
+        data = bytearray(rng.randbytes(n_words * 2))
+        pos = rng.randrange(0, len(data) - 3) & ~1  # 16-bit aligned u32
+        old = internet_checksum(bytes(data))
+        old_value = struct.unpack_from("!I", data, pos)[0]
+        new_value = rng.getrandbits(32)
+        struct.pack_into("!I", data, pos, new_value)
+        expect = internet_checksum(bytes(data))
+        got = checksum_update_u32(old, old_value, new_value)
+        assert checksums_equivalent(got, expect), (
+            f"pos={pos} old={old:#06x} {old_value:#010x}->{new_value:#010x}: "
+            f"got {got:#06x}, recompute {expect:#06x}"
+        )
+
+
+def test_update_u32_chain_of_updates():
+    """Chained incremental updates (the template-ACK expansion loop patches
+    the same field once per ACK) stay equivalent to a recompute."""
+    import random
+
+    rng = random.Random(7)
+    data = bytearray(rng.randbytes(40))
+    csum = internet_checksum(bytes(data))
+    for _ in range(50):
+        old_value = struct.unpack_from("!I", data, 8)[0]
+        new_value = rng.getrandbits(32)
+        struct.pack_into("!I", data, 8, new_value)
+        csum = checksum_update_u32(csum, old_value, new_value)
+        assert checksums_equivalent(csum, internet_checksum(bytes(data)))

@@ -114,3 +114,96 @@ def test_pending_counts_only_live_events(sim):
     assert sim.pending == 2
     ev1.cancel()
     assert sim.pending == 1
+
+
+def test_post_and_call_at_interleave_with_schedule_in_order(sim):
+    """Token-less (post/call_at) and token-carrying (schedule/at) entries
+    share one heap and fire strictly in (time, scheduling) order."""
+    order = []
+    sim.schedule(2e-3, order.append, "s2")
+    sim.post(1e-3, order.append, "p1")
+    sim.at(1e-3, order.append, "a1")
+    sim.call_at(2e-3, order.append, "c2")
+    sim.run()
+    assert order == ["p1", "a1", "s2", "c2"]
+
+
+def test_post_rejects_negative_delay(sim):
+    with pytest.raises(SimulationError):
+        sim.post(-1e-9, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_at(-1.0, lambda: None)
+
+
+def test_events_fired_counts_same_via_run_and_step(sim):
+    """run() and step() share one accounting: cancelled entries never count."""
+    for i in range(5):
+        sim.schedule(1e-3 * (i + 1), lambda: None)
+    sim.schedule(6e-3, lambda: None).cancel()
+    while sim.step():
+        pass
+    fired_via_step = sim.events_fired
+
+    sim2 = Simulator()
+    for i in range(5):
+        sim2.schedule(1e-3 * (i + 1), lambda: None)
+    sim2.schedule(6e-3, lambda: None).cancel()
+    sim2.run()
+    assert fired_via_step == sim2.events_fired == 5
+
+
+def test_max_events_ignores_cancelled_entries(sim):
+    fired = []
+    cancelled = [sim.schedule(1e-4 * i, lambda: None) for i in range(1, 4)]
+    for ev in cancelled:
+        ev.cancel()
+    sim.schedule(1e-3, fired.append, "a")
+    sim.schedule(2e-3, fired.append, "b")
+    sim.run(max_events=2)
+    assert fired == ["a", "b"]
+    assert sim.events_fired == 2
+
+
+def test_heap_compaction_drops_cancelled_entries(sim):
+    """Mass-cancelling timers must shrink the heap, not just mark entries."""
+    events = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(500)]
+    keep = sim.schedule(2.0, lambda: None)
+    assert sim.pending == 501
+    for ev in events:
+        ev.cancel()
+    # Compaction triggers once cancelled entries outnumber live ones (and
+    # exceed the minimum batch), so the physical heap must have been rebuilt
+    # down to the one live entry plus at most one sub-threshold batch of
+    # still-marked entries.
+    assert sim.pending == 1
+    assert len(sim._heap) < 140
+    sim.run()
+    assert sim.events_fired == 1
+    assert keep._fired
+
+
+def test_cancel_inside_run_of_later_event(sim):
+    """An event firing may cancel a later pending event mid-run."""
+    fired = []
+    later = sim.schedule(2e-3, fired.append, "later")
+    sim.schedule(1e-3, later.cancel)
+    sim.run()
+    assert fired == []
+    assert sim.pending == 0
+
+
+def test_compaction_during_run_preserves_order(sim):
+    """Compaction happens while run() iterates; firing order must survive."""
+    order = []
+    doomed = [sim.schedule(1.0 + i * 1e-6, lambda: None) for i in range(200)]
+
+    def cancel_all():
+        order.append("cancel")
+        for ev in doomed:
+            ev.cancel()
+
+    sim.schedule(1e-3, cancel_all)
+    sim.schedule(2e-3, order.append, "after")
+    sim.run()
+    assert order == ["cancel", "after"]
+    assert sim.pending == 0
