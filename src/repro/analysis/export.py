@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import TYPE_CHECKING, Iterable, Optional, TextIO
+from typing import TYPE_CHECKING, Optional, TextIO
 
 if TYPE_CHECKING:  # avoid a circular import; results are duck-typed here
     from repro.experiments.base import ExperimentResult

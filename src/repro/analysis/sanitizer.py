@@ -1,0 +1,438 @@
+"""Runtime TCP/simulation sanitizer: protocol invariants checked per event.
+
+Where :mod:`repro.analysis.simlint` enforces contracts *statically*, this
+module enforces them *dynamically*: with the sanitizer installed, every
+fired simulation event is followed by an audit of the live protocol state —
+
+* simulated time never moves backwards;
+* cumulative ACK state is monotonic: ``snd_una`` and ``rcv_nxt`` only
+  advance (mod 2**32), and ``snd_una`` never passes ``snd_nxt``;
+* congestion control stays in bounds: ``cwnd >= mss`` and
+  ``ssthresh >= 2*mss`` at all times (RFC 5681 floors);
+* receive aggregation preserves the byte stream: an aggregated sk_buff's
+  fragment edges are contiguous and strictly increasing, and the rewritten
+  head covers exactly the coalesced bytes (§3.2 of the paper);
+* expanded template ACKs carry checksums equivalent to a from-scratch
+  computation (RFC 1624 incremental update correctness, §4.2);
+* packets are conserved NIC → ring → driver → aggregation → stack: nothing
+  is duplicated, nothing silently vanishes (periodic deep audit);
+* the event heap's live-entry accounting matches its contents.
+
+Violations raise :class:`InvariantViolation` immediately, at the event that
+broke the contract — not thousands of events later when a throughput number
+comes out wrong.
+
+Usage::
+
+    from repro.analysis.sanitizer import install, uninstall
+    handle = install()          # every Simulator/ReceiverMachine from now on
+    ...                         # run experiments
+    uninstall(handle)
+
+or ``python -m repro.cli --sanitize ...``, or ``REPRO_SANITIZE=1 pytest``
+(see ``tests/conftest.py``).  The per-event cost is real (~2-4x slowdown);
+the sanitizer is a debugging and CI tool, not a default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.ack_offload import expand_template
+from repro.net.checksum import checksums_equivalent
+from repro.sim.engine import Simulator
+from repro.tcp.state import TcpState
+
+_SEQ_MASK = 0xFFFFFFFF
+_SEQ_HALF = 0x80000000
+
+#: Deep (structural) audits run every this-many fired events; the per-event
+#: checks are cheap, the deep ones walk rings and tables.
+DEEP_AUDIT_INTERVAL = 256
+
+#: States in which ``irs``/``rcv_nxt`` are not yet initialised.
+_PRE_SYNC_STATES = (TcpState.CLOSED, TcpState.LISTEN, TcpState.SYN_SENT)
+
+
+class InvariantViolation(AssertionError):
+    """A protocol or conservation invariant was broken by the last event."""
+
+
+@dataclass
+class SanitizerStats:
+    events_checked: int = 0
+    connection_checks: int = 0
+    skbs_checked: int = 0
+    templates_verified: int = 0
+    expanded_acks_verified: int = 0
+    deep_audits: int = 0
+
+
+def _seq_le(a: int, b: int) -> bool:
+    return ((b - a) & _SEQ_MASK) < _SEQ_HALF
+
+
+def _seq_diff(a: int, b: int) -> int:
+    return (a - b) & _SEQ_MASK
+
+
+class SimSanitizer:
+    """Invariant checker bound to one :class:`Simulator` instance."""
+
+    def __init__(self, sim: Simulator, deep_every: int = DEEP_AUDIT_INTERVAL):
+        self.sim = sim
+        self.deep_every = deep_every
+        self.stats = SanitizerStats()
+        self.machines: List[object] = []
+        self._last_now = sim.now
+        sim.set_after_event_hook(self._after_event)
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        self.sim.clear_after_event_hook()
+
+    def watch_machine(self, machine) -> None:
+        """Audit a ReceiverMachine's kernel, NICs, drivers, and clients.
+
+        NICs/drivers/clients added to the machine later (``add_client``) are
+        discovered lazily on each event, so registration order is free.
+        """
+        if machine not in self.machines:
+            self.machines.append(machine)
+
+    # ------------------------------------------------------------------
+    # the per-event hook
+    # ------------------------------------------------------------------
+    def _after_event(self) -> None:
+        now = self.sim.now
+        if now < self._last_now:
+            raise InvariantViolation(
+                f"simulated time moved backwards: {self._last_now!r} -> {now!r}"
+            )
+        self._last_now = now
+        self.stats.events_checked += 1
+        for machine in self.machines:
+            self._check_machine(machine)
+        if self.stats.events_checked % self.deep_every == 0:
+            self._deep_audit()
+
+    def _check_machine(self, machine) -> None:
+        for conn in machine.kernel.connections.values():
+            self._check_connection(conn)
+        for client in machine.clients:
+            for conn in client.connections.values():
+                self._check_connection(conn)
+        # Native machines hang the aggregator off the kernel; the Xen rig
+        # runs it in the driver domain (dom0).
+        aggregator = getattr(machine.kernel, "aggregator", None)
+        if aggregator is None:
+            aggregator = getattr(
+                getattr(machine, "driver_domain", None), "aggregator", None
+            )
+        if aggregator is not None:
+            self._wrap_aggregator(aggregator)
+        for driver in machine.drivers:
+            self._wrap_driver(driver)
+
+    # ------------------------------------------------------------------
+    # connection invariants
+    # ------------------------------------------------------------------
+    def _check_connection(self, conn) -> None:
+        self.stats.connection_checks += 1
+        name = getattr(conn, "name", repr(conn))
+
+        snap = getattr(conn, "_sanitizer_snap", None)
+        if snap is not None:
+            prev_una, prev_nxt = snap
+            if not _seq_le(prev_una, conn.snd_una):
+                raise InvariantViolation(
+                    f"{name}: snd_una regressed {prev_una} -> {conn.snd_una} "
+                    "(cumulative ACK must be monotonic)"
+                )
+            if not _seq_le(prev_nxt, conn.rcv_nxt):
+                raise InvariantViolation(
+                    f"{name}: rcv_nxt regressed {prev_nxt} -> {conn.rcv_nxt}"
+                )
+        conn._sanitizer_snap = (conn.snd_una, conn.rcv_nxt)
+
+        if not _seq_le(conn.snd_una, conn.snd_nxt):
+            raise InvariantViolation(
+                f"{name}: snd_una={conn.snd_una} ahead of snd_nxt={conn.snd_nxt}"
+            )
+
+        reno = conn.reno
+        mss = reno.mss
+        if reno.cwnd < mss:
+            raise InvariantViolation(
+                f"{name}: cwnd={reno.cwnd} below one MSS ({mss})"
+            )
+        if reno.ssthresh < 2 * mss:
+            raise InvariantViolation(
+                f"{name}: ssthresh={reno.ssthresh} below RFC 5681 floor of "
+                f"2*MSS ({2 * mss})"
+            )
+
+        # Byte-stream equivalence: everything between irs+1 and rcv_nxt was
+        # delivered to the application, except possibly one FIN octet.
+        if conn.state not in _PRE_SYNC_STATES:
+            span = _seq_diff(conn.rcv_nxt, conn.irs) - 1
+            slack = span - conn.stats.bytes_delivered
+            if slack not in (0, 1):
+                raise InvariantViolation(
+                    f"{name}: receive stream accounting broken — rcv_nxt "
+                    f"advanced {span} bytes past irs but "
+                    f"{conn.stats.bytes_delivered} bytes were delivered "
+                    f"(slack={slack}, expected 0 or 1 for a consumed FIN)"
+                )
+
+    # ------------------------------------------------------------------
+    # aggregation invariants (wrap deliver)
+    # ------------------------------------------------------------------
+    def _wrap_aggregator(self, aggregator) -> None:
+        if getattr(aggregator, "_sanitizer_wrapped", False):
+            return
+        aggregator._sanitizer_wrapped = True
+        aggregator._sanitizer_segs_delivered = 0
+        original = aggregator.deliver
+        sanitizer = self
+
+        def checked_deliver(skb):
+            sanitizer._check_aggregated_skb(aggregator, skb)
+            aggregator._sanitizer_segs_delivered += skb.nr_segments
+            return original(skb)
+
+        aggregator.deliver = checked_deliver
+
+    def _check_aggregated_skb(self, aggregator, skb) -> None:
+        self.stats.skbs_checked += 1
+        head = skb.head
+        name = aggregator.name
+        n = skb.nr_segments
+        if not (len(skb.frag_acks) in (0, n) and len(skb.frag_end_seqs) == len(skb.frag_acks)
+                and len(skb.frag_windows) == len(skb.frag_acks)):
+            raise InvariantViolation(
+                f"{name}: fragment metadata arrays inconsistent — "
+                f"{n} segments but {len(skb.frag_acks)} acks / "
+                f"{len(skb.frag_end_seqs)} end_seqs / {len(skb.frag_windows)} windows"
+            )
+        if not skb.frags:
+            return
+        # Fragment edges must be strictly increasing and contiguous with the
+        # head: the §3.2 header rewrite claims exactly these bytes.
+        prev = skb.frag_end_seqs[0]
+        for end in skb.frag_end_seqs[1:]:
+            if _seq_diff(end, prev) == 0 or not _seq_le(prev, end):
+                raise InvariantViolation(
+                    f"{name}: aggregated fragment edges not strictly "
+                    f"increasing ({prev} -> {end})"
+                )
+            prev = end
+        covered = _seq_diff(skb.frag_end_seqs[-1], head.tcp.seq)
+        if covered != skb.payload_len:
+            raise InvariantViolation(
+                f"{name}: aggregate holds {skb.payload_len} payload bytes "
+                f"but fragment edges span {covered} — byte-stream "
+                "equivalence broken (§3.2 rewrite)"
+            )
+        expected_total = head.ip.header_len + head.tcp.header_len + skb.payload_len
+        if head.ip.total_length != expected_total:
+            raise InvariantViolation(
+                f"{name}: rewritten IP total_length {head.ip.total_length} "
+                f"does not cover the aggregate (expected {expected_total})"
+            )
+        if head.tcp.ack != skb.frag_acks[-1]:
+            raise InvariantViolation(
+                f"{name}: aggregated head ACK {head.tcp.ack} is not the last "
+                f"fragment's ACK {skb.frag_acks[-1]}"
+            )
+
+    # ------------------------------------------------------------------
+    # ACK-offload invariants (wrap tx_template)
+    # ------------------------------------------------------------------
+    def _wrap_driver(self, driver) -> None:
+        if getattr(driver, "_sanitizer_wrapped", False):
+            return
+        driver._sanitizer_wrapped = True
+        original = driver.tx_template
+        sanitizer = self
+
+        def checked_tx_template(skb):
+            sanitizer._check_template(driver, skb)
+            return original(skb)
+
+        driver.tx_template = checked_tx_template
+
+    def _check_template(self, driver, skb) -> None:
+        """Expand the template out-of-band and verify every resulting ACK.
+
+        ``expand_template`` is pure packet surgery (copies only), so running
+        it here charges no cycles and mutates no state.
+        """
+        self.stats.templates_verified += 1
+        acks = list(skb.template_acks)
+        prev: Optional[int] = None
+        for ack, pkt in zip(acks, expand_template(skb)):
+            self.stats.expanded_acks_verified += 1
+            if pkt.tcp.ack != ack & _SEQ_MASK:
+                raise InvariantViolation(
+                    f"{driver.name}: expanded ACK carries ack={pkt.tcp.ack}, "
+                    f"template said {ack}"
+                )
+            if prev is not None and not _seq_le(prev, pkt.tcp.ack):
+                raise InvariantViolation(
+                    f"{driver.name}: template ACK numbers regress "
+                    f"({prev} -> {pkt.tcp.ack})"
+                )
+            prev = pkt.tcp.ack
+            expected = pkt.tcp.compute_checksum(
+                pkt.ip.src_ip, pkt.ip.dst_ip, pkt.payload or b""
+            )
+            if not checksums_equivalent(pkt.tcp.checksum, expected):
+                raise InvariantViolation(
+                    f"{driver.name}: incremental checksum update diverged for "
+                    f"ack={pkt.tcp.ack}: header carries "
+                    f"0x{pkt.tcp.checksum:04x}, recomputation gives "
+                    f"0x{expected:04x} (RFC 1624 violated)"
+                )
+
+    # ------------------------------------------------------------------
+    # deep structural audits
+    # ------------------------------------------------------------------
+    def _deep_audit(self) -> None:
+        self.stats.deep_audits += 1
+        self._audit_heap()
+        for machine in self.machines:
+            for nic in machine.nics:
+                self._audit_ring(nic)
+            aggregator = getattr(machine.kernel, "aggregator", None)
+            if aggregator is not None:
+                self._audit_aggregator(aggregator)
+
+    def _audit_heap(self) -> None:
+        sim = self.sim
+        if sim._pending < 0:
+            raise InvariantViolation("event heap pending count went negative")
+        if sim._pending + sim._cancelled != len(sim._heap):
+            raise InvariantViolation(
+                f"event heap accounting broken: pending={sim._pending} + "
+                f"cancelled={sim._cancelled} != heap size {len(sim._heap)}"
+            )
+
+    def _audit_ring(self, nic) -> None:
+        ring = nic.ring
+        if ring.posted != ring.drained + len(ring):
+            raise InvariantViolation(
+                f"{nic.name}: ring packet conservation broken — posted="
+                f"{ring.posted}, drained={ring.drained}, in-ring={len(ring)}"
+            )
+        open_lro = 0
+        if nic.lro is not None:
+            open_lro = sum(s.segs for s in nic.lro.table.values())
+        accounted = ring.posted_segments + ring.dropped_segments + open_lro
+        if accounted != nic.stats.rx_frames:
+            raise InvariantViolation(
+                f"{nic.name}: wire-frame conservation broken — "
+                f"{nic.stats.rx_frames} frames received but "
+                f"{ring.posted_segments} posted + {ring.dropped_segments} "
+                f"dropped + {open_lro} open in LRO = {accounted}"
+            )
+
+    def _audit_aggregator(self, aggregator) -> None:
+        stats = aggregator.stats
+        name = aggregator.name
+        if stats.packets_enqueued != stats.packets_in + len(aggregator.queue):
+            raise InvariantViolation(
+                f"{name}: aggregation queue conservation broken — "
+                f"{stats.packets_enqueued} enqueued != {stats.packets_in} "
+                f"consumed + {len(aggregator.queue)} queued"
+            )
+        delivered = getattr(aggregator, "_sanitizer_segs_delivered", None)
+        if delivered is None:
+            return  # deliver was never wrapped (engine idle so far)
+        parked = sum(p.count for p in aggregator.table.values())
+        if stats.packets_in != delivered + parked:
+            raise InvariantViolation(
+                f"{name}: aggregation segment conservation broken — "
+                f"{stats.packets_in} packets in != {delivered} delivered + "
+                f"{parked} parked in partial aggregates"
+            )
+
+
+# ----------------------------------------------------------------------
+# process-wide installation
+# ----------------------------------------------------------------------
+@dataclass
+class _InstallHandle:
+    sim_init: Callable
+    machine_inits: List[tuple] = field(default_factory=list)
+    sanitizers: List[SimSanitizer] = field(default_factory=list)
+
+
+_active_handle: Optional[_InstallHandle] = None
+
+
+def _machine_classes():
+    """Every machine class the sanitizer knows how to watch.
+
+    XenReceiverMachine duck-types ReceiverMachine (kernel / nics / drivers /
+    clients) rather than subclassing it, so both are patched explicitly.
+    """
+    from repro.host.machine import ReceiverMachine
+    from repro.xen.machine import XenReceiverMachine
+
+    return (ReceiverMachine, XenReceiverMachine)
+
+
+def install(deep_every: int = DEEP_AUDIT_INTERVAL) -> _InstallHandle:
+    """Sanitize every Simulator and receiver machine created from now on.
+
+    Idempotent: a second call returns the already-active handle.
+    """
+    global _active_handle
+    if _active_handle is not None:
+        return _active_handle
+
+    sim_init = Simulator.__init__
+    handle = _InstallHandle(sim_init=sim_init)
+
+    def sanitized_sim_init(self) -> None:
+        sim_init(self)
+        handle.sanitizers.append(SimSanitizer(self, deep_every=deep_every))
+
+    Simulator.__init__ = sanitized_sim_init
+
+    for cls in _machine_classes():
+        machine_init = cls.__init__
+        handle.machine_inits.append((cls, machine_init))
+
+        def sanitized_machine_init(self, sim, *args, _orig=machine_init, **kwargs):
+            _orig(self, sim, *args, **kwargs)
+            for sanitizer in handle.sanitizers:
+                if sanitizer.sim is sim:
+                    sanitizer.watch_machine(self)
+                    break
+
+        cls.__init__ = sanitized_machine_init
+
+    _active_handle = handle
+    return handle
+
+
+def uninstall(handle: Optional[_InstallHandle] = None) -> None:
+    """Undo :func:`install`.  Already-created simulators stay sanitized."""
+    global _active_handle
+    if handle is None:
+        handle = _active_handle
+    if handle is None:
+        return
+
+    Simulator.__init__ = handle.sim_init
+    for cls, machine_init in handle.machine_inits:
+        cls.__init__ = machine_init
+    if handle is _active_handle:
+        _active_handle = None
+
+
+def is_installed() -> bool:
+    return _active_handle is not None

@@ -1,0 +1,21 @@
+"""simlint: AST-level enforcement of the simulator's contracts.
+
+See :mod:`repro.analysis.simlint.core` for the rule framework and the
+suppression syntax, :mod:`repro.analysis.simlint.rules` for the shipped
+rules, and ``python -m repro.analysis.simlint --list-rules`` for a summary.
+"""
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+from repro.analysis.simlint.rules import ALL_RULES, RULES_BY_ID
+from repro.analysis.simlint.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "ModuleContext",
+    "Rule",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,180 @@
+"""simlint core: rule protocol, violations, per-module context, suppressions.
+
+simlint is the repo's custom AST linter.  It encodes the *contracts* the
+simulation depends on — determinism (seeded randomness only, no wall-clock),
+modulo-2**32 sequence arithmetic through :mod:`repro.tcp.seqmath`,
+write-through packet mutation, picklable sweep workers — as machine-checkable
+rules, so refactors cannot silently break reproducibility.
+
+Suppressions
+------------
+A violation can be acknowledged in place::
+
+    wall = time.perf_counter() - t0  # simlint: allow(wall-clock) -- harness timing
+
+or for a whole file (put anywhere in the file, conventionally near the top)::
+
+    # simlint: file-allow(wall-clock) -- this module measures the simulator
+
+Multiple rule ids may be listed, comma-separated.  The ``-- reason`` tail is
+optional but encouraged; it is for the human reviewer, not the linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?P<scope>file-)?allow\(\s*(?P<rules>[a-z0-9_,\s-]+)\)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col + 1,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# simlint: allow(...)`` comments for one file."""
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def scan(cls, lines: List[str]) -> "Suppressions":
+        sup = cls()
+        for lineno, text in enumerate(lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            if match.group("scope"):
+                sup.file_rules |= rules
+            else:
+                sup.line_rules.setdefault(lineno, set()).update(rules)
+        return sup
+
+    def suppresses(self, violation: Violation) -> bool:
+        if violation.rule in self.file_rules:
+            return True
+        at_line = self.line_rules.get(violation.line)
+        return at_line is not None and violation.rule in at_line
+
+
+class ModuleContext:
+    """Everything a rule needs to inspect one parsed module."""
+
+    def __init__(self, path: str, source: str, relname: Optional[str] = None):
+        self.path = path
+        #: Forward-slash path used for module-identity checks (exemptions).
+        self.relname = (relname or path).replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions = Suppressions.scan(self.lines)
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def in_function(self, node: ast.AST) -> bool:
+        """True when ``node`` executes inside some function body (i.e. not at
+        import time).  Class bodies *do* execute at import time."""
+        return any(
+            isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda))
+            for a in self.ancestors(node)
+        )
+
+    def module_is(self, *suffixes: str) -> bool:
+        """True when this module's path ends with any of ``suffixes``."""
+        return any(self.relname.endswith(suffix) for suffix in suffixes)
+
+    def module_in(self, *fragments: str) -> bool:
+        """True when any path fragment (e.g. ``"/net/"``) appears in the path."""
+        name = "/" + self.relname
+        return any(fragment in name for fragment in fragments)
+
+    def snippet(self, node: ast.AST) -> str:
+        lineno = getattr(node, "lineno", 0)
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+class Rule:
+    """Base class: one contract, one stable id, one ``check`` pass."""
+
+    id: str = ""
+    summary: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=ctx.snippet(node),
+        )
+
+
+def attribute_chain(node: ast.AST) -> Tuple[Optional[str], List[str]]:
+    """Decompose ``a.b.c.d`` into (root name, ["b", "c", "d"]).
+
+    The root is ``None`` when the chain hangs off something other than a
+    plain name (a call result, a subscript, ...).
+    """
+    attrs: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        attrs.append(current.attr)
+        current = current.value
+    attrs.reverse()
+    if isinstance(current, ast.Name):
+        return current.id, attrs
+    return None, attrs

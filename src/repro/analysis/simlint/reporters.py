@@ -1,0 +1,27 @@
+"""simlint output formats: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.simlint.core import Violation
+
+
+def render_text(violations: List[Violation]) -> str:
+    if not violations:
+        return "simlint: clean"
+    lines = [v.format() for v in violations]
+    lines.append(f"simlint: {len(violations)} violation(s)")
+    return "\n".join(lines)
+
+
+def render_json(violations: List[Violation]) -> str:
+    return json.dumps(
+        {
+            "violations": [v.to_dict() for v in violations],
+            "count": len(violations),
+        },
+        indent=2,
+        sort_keys=True,
+    )

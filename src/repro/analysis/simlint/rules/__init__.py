@@ -1,0 +1,26 @@
+"""Rule registry: every shipped simlint rule, in reporting order."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.simlint.core import Rule
+from repro.analysis.simlint.rules import (
+    determinism,
+    numerics,
+    packets,
+    parallelism,
+    seqspace,
+)
+
+ALL_RULES: Tuple[Rule, ...] = (
+    *determinism.RULES,
+    *seqspace.RULES,
+    *packets.RULES,
+    *numerics.RULES,
+    *parallelism.RULES,
+)
+
+RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+
+assert len(RULES_BY_ID) == len(ALL_RULES), "duplicate rule id in registry"

@@ -1,0 +1,139 @@
+"""Determinism rules: no wall-clock, no unseeded randomness, no import-time
+event scheduling.
+
+The simulator's whole value proposition is bit-identical replays: the same
+config and seed must produce the same rows, serially or across a process
+pool.  Any wall-clock read or use of the process-global ``random`` state
+inside ``src/repro`` silently breaks that, as does scheduling events while a
+module is being imported (import order then becomes part of the experiment).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+
+# Attribute reads that return wall-clock (or process-clock) values, keyed by
+# the module-looking name they hang off.
+_CLOCK_ATTRS = {
+    "time": {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+    },
+    "datetime": {"now", "utcnow", "today"},
+    "date": {"today"},
+}
+
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    summary = (
+        "no wall-clock reads inside src/repro — simulation time comes from "
+        "the engine; harness timing needs an explicit allow"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                names = _CLOCK_ATTRS.get(node.value.id)
+                if names and node.attr in names:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"wall-clock read `{node.value.id}.{node.attr}` — use the "
+                        "simulator clock (sim.now), or mark harness timing with "
+                        "`# simlint: allow(wall-clock)`",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in ("time", "datetime"):
+                flagged = _CLOCK_ATTRS.get("time" if node.module == "time" else "datetime", set())
+                for alias in node.names:
+                    if alias.name in flagged:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"importing `{alias.name}` from `{node.module}` pulls a "
+                            "wall-clock source into simulation code",
+                        )
+
+
+class UnseededRandomRule(Rule):
+    id = "unseeded-random"
+    summary = (
+        "the process-global `random` module is off limits — derive a "
+        "SeededRng from the experiment seed (repro.sim.rng)"
+    )
+
+    #: The one module allowed to touch `random`: it wraps it behind seeds.
+    _EXEMPT = ("sim/rng.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module_is(*self._EXEMPT):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "`import random` uses process-global state; use "
+                            "repro.sim.rng.SeededRng so results are seed-determined",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "`from random import ...` uses process-global state; use "
+                        "repro.sim.rng.SeededRng so results are seed-determined",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "random"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`random.{node.attr}` draws from unseeded global state",
+                )
+
+
+#: Method names that put work on the event loop.  Calling any of these at
+#: module scope means import order changes simulation behaviour.
+_SCHEDULE_METHODS = {"schedule", "at", "call_at", "post", "submit", "defer"}
+
+
+class ImportTimeScheduleRule(Rule):
+    id = "import-time-schedule"
+    summary = (
+        "no event scheduling at import time — events queued while a module "
+        "loads make behaviour depend on import order"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr in _SCHEDULE_METHODS):
+                continue
+            if ctx.in_function(node):
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"`.{func.attr}(...)` runs at import time — schedule events from "
+                "experiment setup code, never while a module loads",
+            )
+
+
+RULES: Iterable[Rule] = (WallClockRule(), UnseededRandomRule(), ImportTimeScheduleRule())

@@ -1,0 +1,76 @@
+"""Float-equality rule for time and cycle counters.
+
+Simulated time and cycle accounting are floats that accumulate through long
+chains of additions; ``==`` on them is a determinism trap (a refactor that
+reassociates a sum changes the last ulp and flips the branch).  Compare with
+an ordering, a tolerance, or restructure so the exact value is irrelevant.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+
+#: Exact names that hold simulated-time or cycle values.
+_COUNTER_NAMES = {
+    "now",
+    "busy_until",
+    "cycles",
+    "busy_cycles",
+    "total_cycles",
+    "rto",
+}
+
+_COUNTER_SUFFIXES = ("_cycles", "_time", "_seconds")
+
+
+def _counter_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    canon = name.lstrip("_")
+    if canon in _COUNTER_NAMES or canon.endswith(_COUNTER_SUFFIXES):
+        return name
+    return None
+
+
+class FloatCounterEqualityRule(Rule):
+    id = "float-eq"
+    summary = (
+        "no ==/!= on float time/cycle counters — accumulated floats differ "
+        "in the last ulp; compare with an ordering or a tolerance"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                name = _counter_name(left) or _counter_name(right)
+                if name is None:
+                    continue
+                # `x == None` / `x != None` style sentinel checks are not
+                # float comparisons (and `is None` doesn't parse as Compare
+                # Eq anyway).
+                other = right if _counter_name(left) else left
+                if isinstance(other, ast.Constant) and other.value is None:
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"exact float equality on `{name}` — accumulated "
+                    "time/cycle floats are ulp-sensitive; use <=, >=, or an "
+                    "epsilon",
+                )
+                break
+
+
+RULES: Iterable[Rule] = (FloatCounterEqualityRule(),)

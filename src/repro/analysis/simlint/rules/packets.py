@@ -1,0 +1,81 @@
+"""Packet-immutability rule: headers change through the write-through API.
+
+Once a packet leaves its creator, its headers and its computed lengths must
+stay mutually consistent (checksums, ip.total_length, wire length caches).
+Scattered field pokes (`head.tcp.ack = ...` in a driver) rot that invariant;
+the sanctioned mutators live on :class:`repro.net.packet.Packet` itself
+(``absorb_segment``, ``finalize_aggregate_header``, ``rewrite_ack_incremental``,
+``refresh_lengths``, ``tso_slice``, ...), so only ``net/`` modules may touch
+raw header fields.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation, attribute_chain
+
+#: Attribute names that denote a protocol-header sub-object on a packet.
+_HEADER_ATTRS = {"tcp", "ip", "eth"}
+
+#: Direct packet fields whose mutation desyncs cached geometry.
+_GEOMETRY_ATTRS = {"payload", "payload_len"}
+
+#: Modules that implement the packet/header layer itself.
+_EXEMPT_FRAGMENTS = ("/net/",)
+
+
+class PacketMutationRule(Rule):
+    id = "packet-mutation"
+    summary = (
+        "no direct writes to packet header fields outside net/ — use the "
+        "Packet write-through API (absorb_segment, rewrite_ack_incremental, "
+        "refresh_lengths, ...)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module_in(*_EXEMPT_FRAGMENTS):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                root, attrs = attribute_chain(target)
+                # `x.tcp.ack = ...` — any header object in the chain before
+                # the final written attribute.
+                if any(a in _HEADER_ATTRS for a in attrs[:-1]):
+                    yield self.violation(
+                        ctx,
+                        target,
+                        f"direct write to packet header field "
+                        f"`{'.'.join(attrs)}` — mutate through the Packet "
+                        "write-through API so checksums and lengths stay "
+                        "consistent",
+                    )
+                    continue
+                # `pkt.payload = ...` (but `self.payload = ...` inside the
+                # packet layer's own classes is someone else's business —
+                # those files are exempt anyway; `self` elsewhere is a
+                # different object entirely).
+                if (
+                    len(attrs) == 1
+                    and attrs[0] in _GEOMETRY_ATTRS
+                    and root is not None
+                    and root != "self"
+                ):
+                    yield self.violation(
+                        ctx,
+                        target,
+                        f"direct write to `{root}.{attrs[0]}` desyncs packet "
+                        "geometry — use set_joined_payload/refresh_lengths",
+                    )
+
+
+RULES: Iterable[Rule] = (PacketMutationRule(),)

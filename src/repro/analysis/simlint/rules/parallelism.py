@@ -1,0 +1,111 @@
+"""Parallel-sweep rule: workers handed to run_points must be picklable.
+
+``repro.parallel.run_points`` ships the worker callable to a
+``ProcessPoolExecutor``; lambdas, nested functions, and bound methods of
+ad-hoc objects fail to pickle — but only at runtime, minutes into a sweep,
+with an opaque traceback from the pool.  This rule catches the obvious
+static cases at lint time (runtime fail-fast lives in run_points itself).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Set
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+
+_TARGET_FUNCS = {"run_points"}
+
+
+def _collect_function_kinds(tree: ast.Module) -> tuple[Set[str], Set[str]]:
+    """Names of module-level defs vs defs nested inside other functions."""
+    top: Set[str] = set()
+    nested: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            top.add(stmt.name)
+            for inner in ast.walk(stmt):
+                if inner is not stmt and isinstance(
+                    inner, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    nested.add(inner.name)
+    return top, nested
+
+
+class UnpicklableWorkerRule(Rule):
+    id = "unpicklable-worker"
+    summary = (
+        "workers passed to run_points must pickle — module-level functions "
+        "only; no lambdas, closures, or self-bound methods"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        top_level, nested = _collect_function_kinds(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name not in _TARGET_FUNCS:
+                continue
+            worker = self._worker_arg(node)
+            if worker is None:
+                continue
+            yield from self._check_worker(ctx, worker, top_level, nested)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _worker_arg(call: ast.Call) -> Optional[ast.AST]:
+        for kw in call.keywords:
+            if kw.arg == "worker":
+                return kw.value
+        if call.args:
+            return call.args[0]
+        return None
+
+    def _check_worker(
+        self,
+        ctx: ModuleContext,
+        worker: ast.AST,
+        top_level: Set[str],
+        nested: Set[str],
+    ) -> Iterator[Violation]:
+        # functools.partial(fn, ...) pickles iff fn does — recurse.
+        if isinstance(worker, ast.Call):
+            func = worker.func
+            fname = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if fname == "partial" and worker.args:
+                yield from self._check_worker(ctx, worker.args[0], top_level, nested)
+            return
+        if isinstance(worker, ast.Lambda):
+            yield self.violation(
+                ctx,
+                worker,
+                "lambda passed to run_points cannot pickle — hoist it to a "
+                "module-level function",
+            )
+        elif isinstance(worker, ast.Name):
+            if worker.id in nested and worker.id not in top_level:
+                yield self.violation(
+                    ctx,
+                    worker,
+                    f"`{worker.id}` is a nested function — closures cannot "
+                    "pickle; hoist it to module level for run_points",
+                )
+        elif isinstance(worker, ast.Attribute):
+            base = worker.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                yield self.violation(
+                    ctx,
+                    worker,
+                    f"bound method `self.{worker.attr}` passed to run_points "
+                    "drags the whole instance through pickle — use a "
+                    "module-level function taking explicit args",
+                )
+
+
+RULES: Iterable[Rule] = (UnpicklableWorkerRule(),)

@@ -1,0 +1,181 @@
+"""Sequence-space rules: TCP sequence numbers live on a mod-2**32 circle.
+
+Ordinary ``<`` / ``-`` on sequence numbers is wrong the moment a connection
+wraps 4 GiB (RFC 1982 serial arithmetic).  The repo centralises correct
+comparisons in :mod:`repro.tcp.seqmath`; hot paths may instead inline the
+sanctioned mask idiom::
+
+    if (seq - rcv_nxt) & 0xFFFFFFFF < 0x80000000: ...
+    nxt = (nxt + length) & _SEQ_MASK
+
+Both rules therefore flag *raw* comparisons/arithmetic on names that carry
+sequence numbers, but stay quiet inside ``tcp/seqmath.py`` and wherever the
+expression is wrapped in a ``& 0xFFFFFFFF``-style mask.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+
+#: Names that hold raw 32-bit sequence numbers wherever they appear.
+SEQ_NAMES = {
+    "rcv_nxt",
+    "snd_una",
+    "snd_nxt",
+    "snd_wl1",
+    "snd_wl2",
+    "end_seq",
+    "next_seq",
+    "last_ack",
+    "iss",
+    "irs",
+    "seg_seq",
+    "seg_ack",
+}
+
+#: `seq` / `ack` are seq-bearing only in a packet-ish context — plenty of
+#: innocent locals are called `seq` (the engine's event serial used to be).
+GENERIC_SEQ_NAMES = {"seq", "ack"}
+PKT_BASES = {
+    "tcp",
+    "pkt",
+    "packet",
+    "head",
+    "seg",
+    "segment",
+    "rec",
+    "frag",
+    "hdr",
+    "header",
+}
+
+_EXEMPT_MODULES = ("tcp/seqmath.py",)
+
+
+def _canonical(name: str) -> str:
+    return name.lstrip("_")
+
+
+def is_seq_bearing(node: ast.AST) -> bool:
+    """Does this expression read something that holds a sequence number?"""
+    if isinstance(node, ast.Name):
+        canon = _canonical(node.id)
+        return canon in SEQ_NAMES or canon in GENERIC_SEQ_NAMES
+    if isinstance(node, ast.Attribute):
+        canon = _canonical(node.attr)
+        if canon in SEQ_NAMES:
+            return True
+        if canon in GENERIC_SEQ_NAMES:
+            base = node.value
+            if isinstance(base, ast.Attribute):
+                return _canonical(base.attr) in PKT_BASES
+            if isinstance(base, ast.Name):
+                return _canonical(base.id) in PKT_BASES
+        return False
+    return False
+
+
+def _is_mask_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and node.value == 0xFFFFFFFF:
+        return True
+    name: Optional[str] = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name is not None and "MASK" in name.upper()
+
+
+def is_masked(ctx: ModuleContext, node: ast.AST) -> bool:
+    """True when ``node`` sits inside a ``(...) & 0xFFFFFFFF`` style wrap.
+
+    Walks up through enclosing BinOps; a BitAnd whose other side is the
+    32-bit mask (literal or a ``*_MASK`` name) sanctions the whole chain.
+    """
+    current = node
+    for ancestor in ctx.ancestors(node):
+        if not isinstance(ancestor, ast.BinOp):
+            break
+        if isinstance(ancestor.op, ast.BitAnd):
+            other = ancestor.right if ancestor.left is current else ancestor.left
+            if _is_mask_operand(other):
+                return True
+        current = ancestor
+    return False
+
+
+class RawSeqCompareRule(Rule):
+    id = "raw-seq-compare"
+    summary = (
+        "no <, <=, >, >= on sequence numbers outside tcp/seqmath.py — "
+        "use seq_lt/seq_le/seq_gt/seq_ge or the masked-difference idiom"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module_is(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                    continue
+                hit = next((o for o in (left, right) if is_seq_bearing(o)), None)
+                if hit is None:
+                    continue
+                # The sanctioned idiom compares a masked difference, not the
+                # raw field: `(a - b) & MASK < HALF` — the seq-bearing name
+                # is then *inside* a BinOp, not a direct Compare operand.
+                yield self.violation(
+                    ctx,
+                    node,
+                    "raw ordering comparison on a sequence number wraps wrong "
+                    "at 2**32 — use repro.tcp.seqmath (seq_lt/seq_ge/...) or "
+                    "compare the masked difference against 0x80000000",
+                )
+                break
+
+
+class RawSeqArithRule(Rule):
+    id = "raw-seq-arith"
+    summary = (
+        "+ / - on sequence numbers must be masked to 32 bits — use "
+        "seqmath.seq_add/seq_diff or `(...) & 0xFFFFFFFF`"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module_is(*_EXEMPT_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+                operand = next(
+                    (o for o in (node.left, node.right) if is_seq_bearing(o)), None
+                )
+                if operand is None:
+                    continue
+                if is_masked(ctx, node):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    "unmasked arithmetic on a sequence number overflows 32 bits "
+                    "— use seqmath.seq_add/seq_diff or mask with & 0xFFFFFFFF",
+                )
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                if not is_seq_bearing(node.target):
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    "augmented +=/-= on a sequence number never masks — assign "
+                    "`x = (x + n) & 0xFFFFFFFF` or use seqmath.seq_add",
+                )
+
+
+RULES: Iterable[Rule] = (RawSeqCompareRule(), RawSeqArithRule())

@@ -1,0 +1,59 @@
+"""simlint runner: discover files, apply rules, collect violations."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+from repro.analysis.simlint.rules import ALL_RULES
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Yield .py files under the given paths, sorted for stable output."""
+    seen: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                seen.append(path)
+        else:
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        seen.append(os.path.join(dirpath, filename))
+    return iter(sorted(set(seen)))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Optional[Iterable[Rule]] = None,
+    relname: Optional[str] = None,
+) -> List[Violation]:
+    """Lint one in-memory module; the unit tests drive this directly."""
+    ctx = ModuleContext(path=path, source=source, relname=relname)
+    out: List[Violation] = []
+    for rule in rules if rules is not None else ALL_RULES:
+        for violation in rule.check(ctx):
+            if not ctx.suppressions.suppresses(violation):
+                out.append(violation)
+    out.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return out
+
+
+def lint_file(path: str, rules: Optional[Iterable[Rule]] = None) -> List[Violation]:
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    return lint_source(source, path=path, rules=rules, relname=path)
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Iterable[Rule]] = None
+) -> List[Violation]:
+    out: List[Violation] = []
+    for path in iter_python_files(paths):
+        out.extend(lint_file(path, rules=rules))
+    return out

@@ -16,8 +16,10 @@ Xen bridge.
 
 from __future__ import annotations
 
+# simlint: file-allow(wall-clock) -- measuring the simulator's wall speed is
+# this module's entire purpose; nothing here feeds back into simulation state.
 import time
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import window

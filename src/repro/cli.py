@@ -3,14 +3,21 @@
 Usage::
 
     python -m repro list
-    python -m repro run figure7 [--quick] [--csv out.csv] [--jobs N]
+    python -m repro run figure7 [--quick] [--sanitize] [--csv out.csv] [--jobs N]
     python -m repro all [--quick] [--csv-dir results/] [--jobs N]
     python -m repro report [--quick] [EXPERIMENTS.md]
+
+``--sanitize`` (on ``run``/``all``/``report``) installs the runtime
+invariant checker (:mod:`repro.analysis.sanitizer`) for the whole run,
+including sweep worker processes.  Expect a slowdown; any protocol or
+conservation violation aborts with a precise error instead of a wrong
+number.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List
 
@@ -80,9 +87,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
 
+    sanitize_help = (
+        "install the runtime invariant checker (repro.analysis.sanitizer) "
+        "for this run, including sweep workers"
+    )
+
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment", choices=sorted(REGISTRY))
     p_run.add_argument("--quick", action="store_true", help="short measurement windows")
+    p_run.add_argument("--sanitize", action="store_true", help=sanitize_help)
     p_run.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
     p_run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -93,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--quick", action="store_true")
+    p_all.add_argument("--sanitize", action="store_true", help=sanitize_help)
     p_all.add_argument("--csv-dir", metavar="DIR")
     p_all.add_argument("--jobs", type=int, default=None, metavar="N")
     p_all.set_defaults(fn=_cmd_all)
@@ -100,12 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true")
+    p_rep.add_argument("--sanitize", action="store_true", help=sanitize_help)
     p_rep.set_defaults(fn=_cmd_report)
     return parser
 
 
 def main(argv: List[str] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "sanitize", False):
+        from repro.analysis.sanitizer import install
+
+        install()
+        # Sweep worker processes read this in their pool initializer so the
+        # sanitizer follows the run across process boundaries.
+        os.environ["REPRO_SANITIZE"] = "1"
     return args.fn(args)
 
 

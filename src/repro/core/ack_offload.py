@@ -19,7 +19,6 @@ from typing import List
 
 from repro.buffers.pool import BufferPool
 from repro.buffers.skbuff import SkBuff
-from repro.net.checksum import checksum_update_u32
 from repro.net.packet import Packet
 from repro.tcp.connection import AckEvent, TcpConnection
 
@@ -41,8 +40,7 @@ def build_template_ack_skb(
     head = conn.build_ack_packet(event.acks[0], event)
     # The template carries a real checksum so expansion can patch it
     # incrementally.
-    head.tcp.checksum = head.tcp.compute_checksum(head.ip.src_ip, head.ip.dst_ip, b"")
-    head.ip.refresh_checksum()
+    head.fill_checksums()
     skb = pool.alloc(head, now=now)
     if skb is None:
         raise RuntimeError("buffer pool exhausted building template ACK")
@@ -63,8 +61,6 @@ def expand_template(skb: SkBuff) -> List[Packet]:
     out: List[Packet] = []
     for ack in skb.template_acks:
         pkt = head.copy()
-        if ack != head.tcp.ack:
-            pkt.tcp.checksum = checksum_update_u32(head.tcp.checksum, head.tcp.ack, ack)
-            pkt.tcp.ack = ack
+        pkt.rewrite_ack_incremental(ack)
         out.append(pkt)
     return out

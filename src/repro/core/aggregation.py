@@ -64,6 +64,7 @@ class BypassReason(Enum):
 class AggregationStats:
     """Counters for one engine."""
 
+    packets_enqueued: int = 0
     packets_in: int = 0
     eligible: int = 0
     bypassed: int = 0
@@ -162,7 +163,9 @@ class AggregationEngine:
     def enqueue(self, pkts: Iterable[Packet]) -> None:
         """Driver drops raw packets into the aggregation queue.  Lock-free
         per-CPU, so no locking cycles are charged (§3.5)."""
+        before = len(self.queue)
         self.queue.extend(pkts)
+        self.stats.packets_enqueued += len(self.queue) - before
 
     # ------------------------------------------------------------------
     # consumer side (softirq)
@@ -285,15 +288,12 @@ class AggregationEngine:
         head = skb.head
         if skb.frags:
             last = skb.frags[-1]
-            head.ip.total_length = head.ip.header_len + head.tcp.header_len + skb.payload_len
-            head.tcp.ack = last.tcp.ack
-            head.tcp.window = last.tcp.window
-            if last.tcp.options.timestamp is not None:
-                head.tcp.options.timestamp = last.tcp.options.timestamp
-            # Recompute the IP checksum of the rewritten header (for real);
-            # the TCP checksum is NOT recomputed — the packet is marked as
-            # hardware-verified instead (§3.2).
-            head.ip.refresh_checksum()
+            # §3.2 header rewrite: the IP checksum is recomputed (for real);
+            # the TCP checksum is NOT — the packet is marked as
+            # hardware-verified instead.
+            head.finalize_aggregate_header(
+                skb.payload_len, last.tcp.ack, last.tcp.window, last.tcp.options.timestamp
+            )
             self.cpu.consume(self.costs.aggr_finalize_per_host_packet, Category.AGGR)
         else:
             # Nothing was coalesced: no header rewrite, no checksum — just

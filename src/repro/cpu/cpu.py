@@ -15,7 +15,7 @@ the configuration decides the real cost.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Tuple
+from typing import Any, Callable, Deque, Optional, Tuple
 
 from repro.cpu.costmodel import CostModel
 from repro.cpu.locks import LockModel

@@ -20,14 +20,12 @@ of a full stack traversal.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.buffers.pool import BufferPool
 from repro.buffers.skbuff import SkBuff
 from repro.core.ack_offload import expand_template
 from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
-from repro.net.ethernet import ETH_HEADER_LEN
 from repro.net.packet import Packet
 from repro.nic.nic import Nic
 
@@ -140,21 +138,7 @@ class E1000Driver:
         offset = 0
         while offset < pkt.payload_len:
             length = min(self.mss, pkt.payload_len - offset)
-            seg = pkt.copy()
-            seg.tcp.seq = (pkt.tcp.seq + offset) & 0xFFFFFFFF
-            seg.payload = pkt.payload[offset : offset + length] if pkt.payload is not None else None
-            seg.payload_len = length
-            total = seg.ip_len
-            seg.ip.total_length = total
-            seg._wire_len = ETH_HEADER_LEN + total
-            if seg.payload is None:
-                # Length-only mode: hardware-split headers are valid by
-                # construction; materializing the checksum per segment is
-                # the single hottest arithmetic in a TSO run.
-                seg.ip.defer_checksum()
-            else:
-                seg.ip.refresh_checksum()
-            segments.append(seg)
+            segments.append(pkt.tso_slice(offset, length))
             offset += length
         return segments
 

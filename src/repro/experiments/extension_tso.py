@@ -20,7 +20,6 @@ import dataclasses
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import ExperimentResult
 from repro.host.configs import linux_up_config
-from repro.workloads.request_response import run_rr_experiment
 from repro.workloads.stream import make_receiver
 from repro.host.client import ClientHost
 from repro.net.addresses import ip_from_str

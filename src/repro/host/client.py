@@ -46,8 +46,8 @@ class ClientHost:
         return port
 
     def _next_iss(self) -> int:
-        self._iss += 64000
-        return self._iss & 0xFFFFFFFF
+        self._iss = (self._iss + 64000) & 0xFFFFFFFF
+        return self._iss
 
     # ------------------------------------------------------------------
     # connection management

@@ -21,7 +21,6 @@ each constant is charged) is simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.cpu.cache import CacheModel, PrefetchMode
 from repro.cpu.costmodel import CostModel

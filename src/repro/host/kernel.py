@@ -175,8 +175,8 @@ class Kernel:
         )
 
     def _next_iss(self) -> int:
-        self._iss += 64000
-        return self._iss & 0xFFFFFFFF
+        self._iss = (self._iss + 64000) & 0xFFFFFFFF
+        return self._iss
 
     # ------------------------------------------------------------------
     # softirq entry points (called from driver ISR tasks)

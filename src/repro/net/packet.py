@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.net.checksum import checksum_update_u32
 from repro.net.ethernet import ETH_HEADER_LEN, ETH_P_IP, EthernetHeader
 from repro.net.flow import FlowKey
 from repro.net.ip import IP_HEADER_LEN, IPPROTO_TCP, IPv4Header
@@ -105,6 +106,125 @@ class Packet:
     def invalidate_geometry(self) -> None:
         """Drop cached lengths after a mutation that changes them (LRO merge)."""
         self._wire_len = None
+
+    # ------------------------------------------------------------------
+    # write-through mutation API
+    #
+    # Once a packet has been handed to the wire/receive path, its header
+    # fields may only change through these methods (enforced by the
+    # ``packet-mutation`` simlint rule): they keep the derived state —
+    # cached geometry, IP total length, checksums — consistent with the
+    # mutation, which ad-hoc field stores silently do not.
+    # ------------------------------------------------------------------
+    def absorb_segment(
+        self,
+        added_payload_len: int,
+        ack: int,
+        window: int,
+        timestamp=None,
+    ) -> None:
+        """Coalesce one in-sequence segment into this (head) packet.
+
+        Used by hardware LRO: the head grows by the merged segment's payload
+        and takes over its cumulative ACK / window / timestamp (the newest
+        values win, as when the segments are processed individually).
+        Lengths and checksums are finalized later via
+        :meth:`refresh_lengths`.
+        """
+        self.payload_len += added_payload_len
+        tcp = self.tcp
+        tcp.ack = ack
+        tcp.window = window
+        if timestamp is not None:
+            tcp.options.timestamp = timestamp
+        self._wire_len = None
+
+    def set_joined_payload(self, data: bytes) -> None:
+        """Install the concatenated payload bytes of a coalesced packet.
+
+        ``payload_len`` must already account for every merged fragment
+        (grown via :meth:`absorb_segment`).
+        """
+        if len(data) != self.payload_len:
+            raise ValueError(
+                f"joined payload is {len(data)} bytes; header says {self.payload_len}"
+            )
+        self.payload = data
+
+    def refresh_lengths(self, total_payload_len: Optional[int] = None) -> None:
+        """Recompute ``ip.total_length`` (and the IP checksum) after payload
+        geometry changed.
+
+        ``total_payload_len`` overrides the head's own ``payload_len`` for
+        aggregated host packets whose payload lives in chained fragments.
+        """
+        payload_len = self.payload_len if total_payload_len is None else total_payload_len
+        ip = self.ip
+        ip.total_length = ip.header_len + self.tcp.header_len + payload_len
+        ip.refresh_checksum()
+        self._wire_len = None
+
+    def finalize_aggregate_header(self, total_payload_len: int, ack: int, window: int, timestamp=None) -> None:
+        """§3.2 header rewrite for a software-aggregated host packet.
+
+        The head packet takes the last fragment's cumulative ACK, window and
+        timestamp, and its IP length grows to cover the whole aggregate; the
+        IP checksum is recomputed for real (the TCP checksum is not — the
+        packet is marked hardware-verified instead).
+        """
+        tcp = self.tcp
+        tcp.ack = ack
+        tcp.window = window
+        if timestamp is not None:
+            tcp.options.timestamp = timestamp
+        self.refresh_lengths(total_payload_len)
+
+    def fill_checksums(self) -> None:
+        """Materialize real IP and TCP checksums in the headers.
+
+        Used when a packet becomes a *template* whose checksum will later be
+        patched incrementally (RFC 1624) rather than recomputed.
+        """
+        payload = self.payload if self.payload is not None else b""
+        self.tcp.checksum = self.tcp.compute_checksum(self.ip.src_ip, self.ip.dst_ip, payload)
+        self.ip.refresh_checksum()
+
+    def rewrite_ack_incremental(self, new_ack: int) -> None:
+        """Rewrite the ACK-number field, fixing the TCP checksum incrementally.
+
+        RFC 1624 eqn. 3 applied to the 32-bit ACK field — the driver-side
+        template-ACK expansion (§4.2).  The existing checksum must be real
+        (see :meth:`fill_checksums`).
+        """
+        tcp = self.tcp
+        if new_ack == tcp.ack:
+            return
+        tcp.checksum = checksum_update_u32(tcp.checksum, tcp.ack, new_ack)
+        tcp.ack = new_ack & 0xFFFFFFFF
+
+    def tso_slice(self, offset: int, length: int) -> "Packet":
+        """Build one MSS-sized wire segment of this oversized send (TSO).
+
+        The slice shares immutable header values with the parent but owns
+        its headers (drivers hand each slice to the wire independently).
+        """
+        seg = self.copy()
+        seg.tcp.seq = (self.tcp.seq + offset) & 0xFFFFFFFF
+        seg.payload = (
+            self.payload[offset : offset + length] if self.payload is not None else None
+        )
+        seg.payload_len = length
+        total = seg.ip_len
+        seg.ip.total_length = total
+        seg._wire_len = ETH_HEADER_LEN + total
+        if seg.payload is None:
+            # Length-only mode: hardware-split headers are valid by
+            # construction; materializing the checksum per segment is
+            # the single hottest arithmetic in a TSO run.
+            seg.ip.defer_checksum()
+        else:
+            seg.ip.refresh_checksum()
+        return seg
 
     @property
     def end_seq(self) -> int:

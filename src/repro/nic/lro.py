@@ -119,12 +119,9 @@ class LroEngine:
     # ------------------------------------------------------------------
     def _merge(self, session: _LroSession, pkt: Packet) -> None:
         head = session.packet
-        head.payload_len += pkt.payload_len
-        head.invalidate_geometry()
-        head.tcp.ack = pkt.tcp.ack
-        head.tcp.window = pkt.tcp.window
-        if pkt.tcp.options.timestamp is not None:
-            head.tcp.options.timestamp = pkt.tcp.options.timestamp
+        head.absorb_segment(
+            pkt.payload_len, pkt.tcp.ack, pkt.tcp.window, pkt.tcp.options.timestamp
+        )
         if session.payloads is not None and pkt.payload is not None:
             session.payloads.append(pkt.payload)
         else:
@@ -137,8 +134,7 @@ class LroEngine:
     def _close(self, session: _LroSession) -> Packet:
         pkt = session.packet
         if session.payloads is not None and session.segs > 1:
-            pkt.payload = b"".join(session.payloads)
-        pkt.ip.total_length = pkt.ip.header_len + pkt.tcp.header_len + pkt.payload_len
-        pkt.ip.refresh_checksum()
+            pkt.set_joined_payload(b"".join(session.payloads))
+        pkt.refresh_lengths()
         pkt.lro_segs = session.segs
         return pkt

@@ -25,6 +25,12 @@ class RxRing:
         self._slots: Deque[Packet] = deque()
         self.posted = 0
         self.dropped = 0
+        self.drained = 0
+        #: Wire-frame totals (a hardware-LRO aggregate counts ``lro_segs``
+        #: frames); the sanitizer's conservation audit balances these
+        #: against the NIC's ``rx_frames``.
+        self.posted_segments = 0
+        self.dropped_segments = 0
         self.peak_occupancy = 0
 
     def __len__(self) -> int:
@@ -44,9 +50,11 @@ class RxRing:
         occupancy = len(slots)
         if occupancy >= self.capacity:
             self.dropped += 1
+            self.dropped_segments += pkt.lro_segs
             return False
         slots.append(pkt)
         self.posted += 1
+        self.posted_segments += pkt.lro_segs
         if occupancy >= self.peak_occupancy:
             self.peak_occupancy = occupancy + 1
         return True
@@ -56,5 +64,7 @@ class RxRing:
         if max_packets <= 0 or max_packets >= len(self._slots):
             out = list(self._slots)
             self._slots.clear()
+            self.drained += len(out)
             return out
+        self.drained += max_packets
         return [self._slots.popleft() for _ in range(max_packets)]

@@ -24,11 +24,47 @@ ints) so IPC cost stays negligible next to the simulation itself.
 from __future__ import annotations
 
 import os
+import pickle
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 _P = TypeVar("_P")
 _R = TypeVar("_R")
+
+
+def _describe_callable(worker: Callable) -> str:
+    module = getattr(worker, "__module__", None) or "?"
+    qualname = getattr(worker, "__qualname__", None) or repr(worker)
+    return f"{module}.{qualname}"
+
+
+def ensure_picklable_worker(worker: Callable) -> None:
+    """Fail fast, by name, when a worker cannot ship to a process pool.
+
+    Without this, an unpicklable worker (lambda, closure, bound method of an
+    ad-hoc object) surfaces as an opaque ``PicklingError`` from deep inside
+    the pool machinery — possibly minutes into a sweep.  ``simlint``'s
+    ``unpicklable-worker`` rule catches the static cases; this catches the
+    rest at the moment of the call.
+    """
+    try:
+        pickle.dumps(worker)
+    except Exception as exc:
+        name = _describe_callable(worker)
+        raise TypeError(
+            f"run_points worker {name} is not picklable and cannot be sent "
+            f"to worker processes: {exc}. Use a module-level function "
+            "taking one argument tuple (no lambdas, closures, or bound "
+            "methods of unpicklable objects)."
+        ) from exc
+
+
+def _pool_worker_init() -> None:
+    """Executed in each pool process: mirror the parent's sanitizer state."""
+    if os.environ.get("REPRO_SANITIZE") == "1":
+        from repro.analysis.sanitizer import install
+
+        install()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -59,7 +95,10 @@ def run_points(
     n_jobs = resolve_jobs(jobs)
     if n_jobs <= 1 or len(pts) <= 1:
         return [worker(p) for p in pts]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(pts))) as pool:
+    ensure_picklable_worker(worker)
+    with ProcessPoolExecutor(
+        max_workers=min(n_jobs, len(pts)), initializer=_pool_worker_init
+    ) as pool:
         # Executor.map preserves submission order, so rows built from the
         # returned list are identical to a serial run's.
         return list(pool.map(worker, pts))

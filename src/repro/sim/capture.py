@@ -9,7 +9,7 @@ used by tests to assert on wire behaviour and by users to debug workloads.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet

@@ -82,6 +82,9 @@ class Simulator:
         self._pending: int = 0
         self._cancelled: int = 0
         self._running: bool = False
+        #: Single-slot observer invoked after every fired event (see
+        #: :meth:`set_after_event_hook`).  ``None`` on the normal fast path.
+        self._after_event: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     # scheduling
@@ -102,10 +105,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        seq = self._seq
-        self._seq = seq + 1
-        ev = Event(time, seq, self)
-        heapq.heappush(self._heap, (time, seq, fn, args, ev))
+        serial = self._seq
+        self._seq = serial + 1
+        ev = Event(time, serial, self)
+        heapq.heappush(self._heap, (time, serial, fn, args, ev))
         self._pending += 1
         return ev
 
@@ -125,9 +128,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self.now}"
             )
-        seq = self._seq
-        self._seq = seq + 1
-        heapq.heappush(self._heap, (time, seq, fn, args, None))
+        serial = self._seq
+        self._seq = serial + 1
+        heapq.heappush(self._heap, (time, serial, fn, args, None))
         self._pending += 1
 
     # ------------------------------------------------------------------
@@ -175,6 +178,8 @@ class Simulator:
             self._pending -= 1
             self._events_fired += 1
             fn(*args)
+            if self._after_event is not None:
+                self._after_event()
             return True
         return False
 
@@ -219,10 +224,29 @@ class Simulator:
                 self._events_fired += 1
                 fired += 1
                 entry[2](*entry[3])
+                if self._after_event is not None:
+                    self._after_event()
             if until is not None and self.now < until:
                 self.now = until
         finally:
             self._running = False
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def set_after_event_hook(self, hook: Callable[[], None]) -> None:
+        """Install the (single) observer called after every fired event.
+
+        Used by the runtime sanitizer (:mod:`repro.analysis.sanitizer`) to
+        audit invariants between events.  Only one observer may be installed
+        at a time so the hot loop stays a single None-check.
+        """
+        if self._after_event is not None and self._after_event is not hook:
+            raise SimulationError("an after-event hook is already installed")
+        self._after_event = hook
+
+    def clear_after_event_hook(self) -> None:
+        self._after_event = None
 
     # ------------------------------------------------------------------
     # introspection

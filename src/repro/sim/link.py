@@ -13,7 +13,7 @@ lost-then-retransmitted segments.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Simulator

@@ -14,7 +14,6 @@ of aggregation the traffic permits.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConnection

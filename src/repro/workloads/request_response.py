@@ -15,7 +15,6 @@ from typing import List
 
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
-from repro.host.machine import ReceiverMachine
 from repro.workloads.stream import make_receiver
 from repro.net.addresses import ip_from_str
 from repro.sim.engine import Simulator

@@ -13,7 +13,7 @@ network stack" (§3.5) in the Xen architecture of Figure 5.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.buffers.pool import BufferPool
 from repro.buffers.skbuff import SkBuff

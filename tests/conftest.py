@@ -3,12 +3,32 @@
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import pytest
 
 from repro.core.config import OptimizationConfig
 from repro.host.configs import linux_up_config
 from repro.sim.engine import Simulator
+
+#: ``REPRO_SANITIZE=1 pytest`` runs the whole suite with the runtime
+#: invariant checker installed (see repro.analysis.sanitizer); CI runs the
+#: tier-1 suite once in this mode.
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+
+
+@pytest.fixture(autouse=_SANITIZE)
+def _sanitized_run():
+    if not _SANITIZE:  # autouse is False then, but keep the guard explicit
+        yield
+        return
+    from repro.analysis.sanitizer import install, uninstall
+
+    handle = install()
+    try:
+        yield
+    finally:
+        uninstall(handle)
 
 
 @pytest.fixture

@@ -1,0 +1,487 @@
+"""Every simlint rule: fires on a bad fixture, stays quiet on a good one."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.simlint import lint_source
+from repro.analysis.simlint.cli import main as simlint_main
+from repro.analysis.simlint.rules import ALL_RULES, RULES_BY_ID
+
+
+def rules_fired(source: str, relname: str = "src/repro/some/module.py"):
+    violations = lint_source(
+        textwrap.dedent(source), path=relname, relname=relname
+    )
+    return [v.rule for v in violations], violations
+
+
+def assert_fires(rule_id: str, source: str, **kwargs) -> None:
+    fired, violations = rules_fired(source, **kwargs)
+    assert rule_id in fired, f"{rule_id} did not fire; got {fired}"
+
+
+def assert_clean(rule_id: str, source: str, **kwargs) -> None:
+    fired, violations = rules_fired(source, **kwargs)
+    assert rule_id not in fired, f"{rule_id} fired unexpectedly: {violations}"
+
+
+# ----------------------------------------------------------------------
+# wall-clock
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_time_time_fires(self):
+        assert_fires("wall-clock", """
+            import time
+            def f():
+                return time.time()
+        """)
+
+    def test_perf_counter_fires(self):
+        assert_fires("wall-clock", """
+            import time
+            def f():
+                return time.perf_counter()
+        """)
+
+    def test_datetime_now_fires(self):
+        assert_fires("wall-clock", """
+            import datetime
+            def f():
+                return datetime.now()
+        """)
+
+    def test_from_import_of_clock_fires(self):
+        assert_fires("wall-clock", "from time import perf_counter\n")
+
+    def test_sim_clock_clean(self):
+        assert_clean("wall-clock", """
+            def f(sim):
+                return sim.now
+        """)
+
+    def test_line_suppression(self):
+        assert_clean("wall-clock", """
+            import time
+            def f():
+                return time.time()  # simlint: allow(wall-clock) -- harness
+        """)
+
+    def test_file_suppression(self):
+        assert_clean("wall-clock", """
+            # simlint: file-allow(wall-clock) -- benchmarking module
+            import time
+            def f():
+                return time.time() - time.perf_counter()
+        """)
+
+    def test_suppression_is_rule_specific(self):
+        assert_fires("wall-clock", """
+            import time
+            def f():
+                return time.time()  # simlint: allow(unseeded-random)
+        """)
+
+
+# ----------------------------------------------------------------------
+# unseeded-random
+# ----------------------------------------------------------------------
+class TestUnseededRandom:
+    def test_import_fires(self):
+        assert_fires("unseeded-random", "import random\n")
+
+    def test_from_import_fires(self):
+        assert_fires("unseeded-random", "from random import randint\n")
+
+    def test_attribute_use_fires(self):
+        assert_fires("unseeded-random", """
+            def f(random):
+                return random.random()
+        """)
+
+    def test_rng_module_exempt(self):
+        assert_clean(
+            "unseeded-random",
+            "import random\n",
+            relname="src/repro/sim/rng.py",
+        )
+
+    def test_seeded_rng_clean(self):
+        assert_clean("unseeded-random", """
+            from repro.sim.rng import SeededRng
+            def f(seed):
+                return SeededRng(seed, "traffic").uniform(0, 1)
+        """)
+
+
+# ----------------------------------------------------------------------
+# import-time-schedule
+# ----------------------------------------------------------------------
+class TestImportTimeSchedule:
+    def test_module_scope_schedule_fires(self):
+        assert_fires("import-time-schedule", """
+            from repro.sim.engine import Simulator
+            sim = Simulator()
+            sim.schedule(1.0, print)
+        """)
+
+    def test_class_body_fires(self):
+        assert_fires("import-time-schedule", """
+            class Rig:
+                token = sim.at(0.0, print)
+        """)
+
+    def test_inside_function_clean(self):
+        assert_clean("import-time-schedule", """
+            def setup(sim):
+                sim.schedule(1.0, print)
+                sim.post(2.0, print)
+        """)
+
+
+# ----------------------------------------------------------------------
+# raw-seq-compare
+# ----------------------------------------------------------------------
+class TestRawSeqCompare:
+    def test_ordering_on_seq_field_fires(self):
+        assert_fires("raw-seq-compare", """
+            def f(self, pkt):
+                if pkt.tcp.seq < self.rcv_nxt:
+                    return True
+        """)
+
+    def test_ordering_on_named_state_fires(self):
+        assert_fires("raw-seq-compare", """
+            def f(self, ack):
+                return ack > self.snd_una
+        """)
+
+    def test_equality_allowed(self):
+        assert_clean("raw-seq-compare", """
+            def f(self, pkt):
+                return pkt.tcp.seq == self.rcv_nxt
+        """)
+
+    def test_masked_difference_idiom_clean(self):
+        assert_clean("raw-seq-compare", """
+            def f(self, pkt):
+                return ((pkt.tcp.seq - self.rcv_nxt) & 0xFFFFFFFF) < 0x80000000
+        """)
+
+    def test_seqmath_module_exempt(self):
+        assert_clean(
+            "raw-seq-compare",
+            """
+            def seq_lt(a, b):
+                return a != b and ((b - a) & 0xFFFFFFFF) < 0x80000000
+            def helper(seq, rcv_nxt):
+                return seq < rcv_nxt
+            """,
+            relname="src/repro/tcp/seqmath.py",
+        )
+
+    def test_innocent_names_clean(self):
+        # `serial`, loop counters etc. must not trip the generic detector.
+        assert_clean("raw-seq-compare", """
+            def f(self, serial, count):
+                return serial < self._seq_limit and count < 3
+        """)
+
+
+# ----------------------------------------------------------------------
+# raw-seq-arith
+# ----------------------------------------------------------------------
+class TestRawSeqArith:
+    def test_unmasked_add_fires(self):
+        assert_fires("raw-seq-arith", """
+            def f(self, length):
+                nxt = self.rcv_nxt + length
+                return nxt
+        """)
+
+    def test_augassign_fires(self):
+        assert_fires("raw-seq-arith", """
+            def f(self):
+                self._iss += 64000
+        """)
+
+    def test_masked_add_clean(self):
+        assert_clean("raw-seq-arith", """
+            def f(self, length):
+                return (self.rcv_nxt + length) & 0xFFFFFFFF
+        """)
+
+    def test_named_mask_clean(self):
+        assert_clean("raw-seq-arith", """
+            _SEQ_MASK = 0xFFFFFFFF
+            def f(self, length):
+                return (self.rcv_nxt + length) & _SEQ_MASK
+        """)
+
+    def test_seqmath_exempt(self):
+        assert_clean(
+            "raw-seq-arith",
+            """
+            def seq_add(seq, n):
+                return (seq + n) & 0xFFFFFFFF
+            def seq_diff_unmasked(seg_seq, other):
+                return seg_seq - other
+            """,
+            relname="src/repro/tcp/seqmath.py",
+        )
+
+    def test_non_seq_arith_clean(self):
+        assert_clean("raw-seq-arith", """
+            def f(self, cycles):
+                self.total += cycles
+                return self.busy_until + cycles
+        """)
+
+
+# ----------------------------------------------------------------------
+# packet-mutation
+# ----------------------------------------------------------------------
+class TestPacketMutation:
+    def test_tcp_field_write_fires(self):
+        assert_fires("packet-mutation", """
+            def f(pkt, ack):
+                pkt.tcp.ack = ack
+        """)
+
+    def test_nested_header_write_fires(self):
+        assert_fires("packet-mutation", """
+            def f(skb):
+                skb.head.ip.total_length = 40
+        """)
+
+    def test_options_write_fires(self):
+        assert_fires("packet-mutation", """
+            def f(head, ts):
+                head.tcp.options.timestamp = ts
+        """)
+
+    def test_payload_len_write_fires(self):
+        assert_fires("packet-mutation", """
+            def f(pkt):
+                pkt.payload_len = 0
+        """)
+
+    def test_augassign_fires(self):
+        assert_fires("packet-mutation", """
+            def f(pkt, n):
+                pkt.ip.total_length += n
+        """)
+
+    def test_net_modules_exempt(self):
+        assert_clean(
+            "packet-mutation",
+            """
+            def absorb(self, pkt):
+                self.tcp.ack = pkt.tcp.ack
+            """,
+            relname="src/repro/net/packet.py",
+        )
+
+    def test_write_through_api_clean(self):
+        assert_clean("packet-mutation", """
+            def f(pkt, ack):
+                pkt.rewrite_ack_incremental(ack)
+                pkt.refresh_lengths()
+        """)
+
+    def test_self_payload_clean(self):
+        assert_clean("packet-mutation", """
+            class Thing:
+                def reset(self):
+                    self.payload = None
+        """)
+
+
+# ----------------------------------------------------------------------
+# float-eq
+# ----------------------------------------------------------------------
+class TestFloatEq:
+    def test_busy_until_eq_fires(self):
+        assert_fires("float-eq", """
+            def f(cpu):
+                return cpu.busy_until == 3.0
+        """)
+
+    def test_cycles_suffix_neq_fires(self):
+        assert_fires("float-eq", """
+            def f(a, drain_cycles):
+                return drain_cycles != a
+        """)
+
+    def test_now_eq_fires(self):
+        assert_fires("float-eq", """
+            def f(sim, t):
+                return sim.now == t
+        """)
+
+    def test_ordering_clean(self):
+        assert_clean("float-eq", """
+            def f(cpu, t):
+                return cpu.busy_until <= t or cpu.busy_until > 0
+        """)
+
+    def test_none_sentinel_clean(self):
+        assert_clean("float-eq", """
+            def f(self):
+                return self.busy_until == None
+        """)
+
+    def test_generic_float_clean(self):
+        assert_clean("float-eq", """
+            def f(v):
+                return v == 0.0
+        """)
+
+
+# ----------------------------------------------------------------------
+# unpicklable-worker
+# ----------------------------------------------------------------------
+class TestUnpicklableWorker:
+    def test_lambda_fires(self):
+        assert_fires("unpicklable-worker", """
+            from repro.parallel import run_points
+            def f(points):
+                return run_points(lambda p: p * 2, points, jobs=4)
+        """)
+
+    def test_nested_function_fires(self):
+        assert_fires("unpicklable-worker", """
+            from repro.parallel import run_points
+            def f(points, scale):
+                def worker(p):
+                    return p * scale
+                return run_points(worker, points, jobs=4)
+        """)
+
+    def test_bound_method_fires(self):
+        assert_fires("unpicklable-worker", """
+            class Sweep:
+                def run(self, points):
+                    from repro.parallel import run_points
+                    return run_points(self.worker, points, jobs=4)
+        """)
+
+    def test_module_level_function_clean(self):
+        assert_clean("unpicklable-worker", """
+            from repro.parallel import run_points
+            def worker(p):
+                return p * 2
+            def f(points):
+                return run_points(worker, points, jobs=4)
+        """)
+
+    def test_partial_of_lambda_fires(self):
+        assert_fires("unpicklable-worker", """
+            import functools
+            from repro.parallel import run_points
+            def f(points):
+                return run_points(functools.partial(lambda s, p: p * s, 2), points)
+        """)
+
+    def test_keyword_worker_fires(self):
+        assert_fires("unpicklable-worker", """
+            from repro.parallel import run_points
+            def f(points):
+                return run_points(points=points, worker=lambda p: p)
+        """)
+
+
+# ----------------------------------------------------------------------
+# framework behaviour
+# ----------------------------------------------------------------------
+class TestFramework:
+    def test_registry_ids_unique_and_expected(self):
+        ids = {rule.id for rule in ALL_RULES}
+        assert ids == {
+            "wall-clock",
+            "unseeded-random",
+            "import-time-schedule",
+            "raw-seq-compare",
+            "raw-seq-arith",
+            "packet-mutation",
+            "float-eq",
+            "unpicklable-worker",
+        }
+        assert set(RULES_BY_ID) == ids
+
+    def test_violation_carries_location_and_snippet(self):
+        _, violations = rules_fired("""
+            import time
+            def f():
+                return time.time()
+        """)
+        [v] = [v for v in violations if v.rule == "wall-clock"]
+        assert v.line == 4
+        assert "time.time()" in v.snippet
+        assert "wall-clock" in v.format()
+
+    def test_multi_rule_suppression_comment(self):
+        assert_clean("float-eq", """
+            def f(cpu, t):
+                return cpu.busy_until == t  # simlint: allow(float-eq, wall-clock)
+        """)
+
+
+class TestCli:
+    def test_list_rules_exit_zero(self, capsys):
+        assert simlint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "wall-clock" in out and "unpicklable-worker" in out
+
+    def test_bad_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nt = time.time()\n")
+        assert simlint_main([str(tmp_path)]) == 1
+        assert "[wall-clock]" in capsys.readouterr().out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("def f(sim):\n    return sim.now\n")
+        assert simlint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        assert simlint_main(["--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["violations"][0]["rule"] == "unseeded-random"
+
+    def test_select_subset(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nimport random\nt = time.time()\n")
+        assert simlint_main(["--select", "unseeded-random", str(bad)]) == 1
+        assert simlint_main(["--select", "import-time-schedule", str(bad)]) == 0
+
+    def test_unknown_rule_usage_error(self, tmp_path):
+        assert simlint_main(["--select", "no-such-rule", str(tmp_path)]) == 2
+
+    def test_no_paths_usage_error(self):
+        assert simlint_main([]) == 2
+
+    def test_repo_source_tree_is_clean(self):
+        assert simlint_main(["src/"]) == 0
+
+
+def test_every_rule_has_a_firing_test():
+    """Meta: the classes above cover each registered rule id."""
+    covered = {
+        "wall-clock",
+        "unseeded-random",
+        "import-time-schedule",
+        "raw-seq-compare",
+        "raw-seq-arith",
+        "packet-mutation",
+        "float-eq",
+        "unpicklable-worker",
+    }
+    assert covered == set(RULES_BY_ID)
