@@ -22,6 +22,20 @@ def result_to_csv(result: "ExperimentResult", fh: Optional[TextIO] = None) -> st
     return ""
 
 
+def queue_stats_to_csv(nics, fh: Optional[TextIO] = None) -> str:
+    """Write per-queue rx counters (one row per nic × queue) as CSV."""
+    from repro.analysis.reporting import QUEUE_STAT_COLUMNS, queue_stats_rows
+
+    buffer = fh if fh is not None else io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(QUEUE_STAT_COLUMNS))
+    writer.writeheader()
+    for row in queue_stats_rows(nics):
+        writer.writerow(row)
+    if fh is None:
+        return buffer.getvalue()
+    return ""
+
+
 def results_to_csv_files(results: "Iterable[ExperimentResult]", directory: str) -> list:
     """Write one ``<experiment_id>.csv`` per result; returns the paths."""
     import os

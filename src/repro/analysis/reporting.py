@@ -40,6 +40,39 @@ def render_table(columns: Sequence[str], rows: Sequence[Dict[str, object]], titl
     return "\n".join(out)
 
 
+#: Column order for per-queue NIC counter tables (and their CSV export).
+QUEUE_STAT_COLUMNS = (
+    "nic", "queue", "posted", "drained", "dropped", "peak occupancy", "interrupts",
+)
+
+
+def queue_stats_rows(nics: Sequence) -> List[Dict[str, object]]:
+    """Per-queue drop/occupancy counters for a list of NICs, one row per
+    (nic, queue).  Works for single-queue NICs too (one row each), so the
+    same table covers the paper rigs and the multi-queue RSS rigs."""
+    rows: List[Dict[str, object]] = []
+    for nic in nics:
+        for queue in nic.queues:
+            ring = queue.ring
+            rows.append(
+                {
+                    "nic": nic.name,
+                    "queue": queue.index,
+                    "posted": ring.posted,
+                    "drained": ring.drained,
+                    "dropped": ring.dropped,
+                    "peak occupancy": ring.peak_occupancy,
+                    "interrupts": queue.interrupts,
+                }
+            )
+    return rows
+
+
+def render_queue_stats(nics: Sequence, title: str = "per-queue rx counters") -> str:
+    """Aligned text table of :func:`queue_stats_rows` for a list of NICs."""
+    return render_table(list(QUEUE_STAT_COLUMNS), queue_stats_rows(nics), title=title)
+
+
 def ascii_bar_chart(
     items: Sequence[Tuple[str, float]],
     width: int = 50,

@@ -123,17 +123,32 @@ class SimSanitizer:
         for client in machine.clients:
             for conn in client.connections.values():
                 self._check_connection(conn)
-        # Native machines hang the aggregator off the kernel; the Xen rig
-        # runs it in the driver domain (dom0).
-        aggregator = getattr(machine.kernel, "aggregator", None)
-        if aggregator is None:
-            aggregator = getattr(
-                getattr(machine, "driver_domain", None), "aggregator", None
-            )
-        if aggregator is not None:
+        for aggregator in self._machine_aggregators(machine):
             self._wrap_aggregator(aggregator)
         for driver in machine.drivers:
-            self._wrap_driver(driver)
+            # Multi-queue machines keep one driver list per NIC.
+            if isinstance(driver, (list, tuple)):
+                for d in driver:
+                    self._wrap_driver(d)
+            else:
+                self._wrap_driver(driver)
+
+    @staticmethod
+    def _machine_aggregators(machine) -> List[object]:
+        """Every aggregation engine a machine runs: the native kernel hangs
+        one off the kernel, the Xen rig runs one in the driver domain, and
+        the multi-queue kernel keeps one per receive queue."""
+        engines = []
+        aggregator = getattr(machine.kernel, "aggregator", None)
+        if aggregator is not None:
+            engines.append(aggregator)
+        engines.extend(getattr(machine.kernel, "aggregators", ()))
+        dd_aggregator = getattr(
+            getattr(machine, "driver_domain", None), "aggregator", None
+        )
+        if dd_aggregator is not None:
+            engines.append(dd_aggregator)
+        return engines
 
     # ------------------------------------------------------------------
     # connection invariants
@@ -305,8 +320,8 @@ class SimSanitizer:
         for machine in self.machines:
             for nic in machine.nics:
                 self._audit_ring(nic)
-            aggregator = getattr(machine.kernel, "aggregator", None)
-            if aggregator is not None:
+                self._audit_flow_steering(nic)
+            for aggregator in self._machine_aggregators(machine):
                 self._audit_aggregator(aggregator)
 
     def _audit_heap(self) -> None:
@@ -320,23 +335,49 @@ class SimSanitizer:
             )
 
     def _audit_ring(self, nic) -> None:
-        ring = nic.ring
-        if ring.posted != ring.drained + len(ring):
-            raise InvariantViolation(
-                f"{nic.name}: ring packet conservation broken — posted="
-                f"{ring.posted}, drained={ring.drained}, in-ring={len(ring)}"
-            )
-        open_lro = 0
-        if nic.lro is not None:
-            open_lro = sum(s.segs for s in nic.lro.table.values())
-        accounted = ring.posted_segments + ring.dropped_segments + open_lro
+        posted_segments = dropped_segments = open_lro = 0
+        for queue in nic.queues:
+            ring = queue.ring
+            if ring.posted != ring.drained + len(ring):
+                raise InvariantViolation(
+                    f"{nic.name}.q{queue.index}: ring packet conservation "
+                    f"broken — posted={ring.posted}, drained={ring.drained}, "
+                    f"in-ring={len(ring)}"
+                )
+            posted_segments += ring.posted_segments
+            dropped_segments += ring.dropped_segments
+            if queue.lro is not None:
+                open_lro += sum(s.segs for s in queue.lro.table.values())
+        # Wire frames are conserved across the whole NIC: every received
+        # frame is in exactly one queue's counters or parked in its LRO.
+        accounted = posted_segments + dropped_segments + open_lro
         if accounted != nic.stats.rx_frames:
             raise InvariantViolation(
                 f"{nic.name}: wire-frame conservation broken — "
                 f"{nic.stats.rx_frames} frames received but "
-                f"{ring.posted_segments} posted + {ring.dropped_segments} "
-                f"dropped + {open_lro} open in LRO = {accounted}"
+                f"{posted_segments} posted + {dropped_segments} "
+                f"dropped + {open_lro} open in LRO = {accounted} "
+                f"(summed over {nic.n_queues} queue(s))"
             )
+
+    def _audit_flow_steering(self, nic) -> None:
+        """Same-flow-same-queue: a flow observed on queue *i* must still
+        steer to queue *i* unless the policy legitimately re-steered it
+        (its generation counter advanced) since the observation."""
+        steering = getattr(nic, "steering", None)
+        if steering is None or not nic.flow_queue_observed:
+            return
+        for key, (index, generation) in nic.flow_queue_observed.items():
+            if steering.generation(key) != generation:
+                continue  # re-steered since the last frame; next frame re-records
+            expected = steering.peek(key)
+            if expected != index:
+                raise InvariantViolation(
+                    f"{nic.name}: flow {key!r} was DMAed to queue {index} "
+                    f"(steering generation {generation}) but the policy now "
+                    f"steers it to queue {expected} at the same generation — "
+                    "same-flow-same-queue ordering broken"
+                )
 
     def _audit_aggregator(self, aggregator) -> None:
         stats = aggregator.stats
@@ -375,13 +416,15 @@ _active_handle: Optional[_InstallHandle] = None
 def _machine_classes():
     """Every machine class the sanitizer knows how to watch.
 
-    XenReceiverMachine duck-types ReceiverMachine (kernel / nics / drivers /
-    clients) rather than subclassing it, so both are patched explicitly.
+    XenReceiverMachine and MqReceiverMachine duck-type ReceiverMachine
+    (kernel / nics / drivers / clients) rather than subclassing it, so all
+    three are patched explicitly.
     """
     from repro.host.machine import ReceiverMachine
+    from repro.mq.machine import MqReceiverMachine
     from repro.xen.machine import XenReceiverMachine
 
-    return (ReceiverMachine, XenReceiverMachine)
+    return (ReceiverMachine, XenReceiverMachine, MqReceiverMachine)
 
 
 def install(deep_every: int = DEEP_AUDIT_INTERVAL) -> _InstallHandle:

@@ -24,6 +24,7 @@ from typing import Dict, List
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import window
 from repro.host.configs import linux_smp_config, linux_up_config, xen_config
+from repro.mq.workload import run_mq_stream_experiment
 from repro.workloads.stream import run_stream_experiment
 
 
@@ -47,6 +48,29 @@ def measure_stream_speed(
     }
 
 
+def measure_mq_stream_speed(
+    config,
+    opt: OptimizationConfig,
+    queues: int,
+    duration: float,
+    warmup: float,
+) -> Dict[str, float]:
+    """Time one multi-queue streaming simulation (same report shape)."""
+    t0 = time.perf_counter()
+    result = run_mq_stream_experiment(
+        config, opt, queues=queues, duration=duration, warmup=warmup
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "system": result.system,
+        "optimized": result.optimized,
+        "wall_s": wall,
+        "events_fired": result.events_fired,
+        "network_packets": result.network_packets,
+        "throughput_mbps": result.throughput_mbps,
+    }
+
+
 def measure_figure07_speed(quick: bool = True) -> Dict[str, object]:
     """Run the Figure 7 workload mix and report simulator speed.
 
@@ -54,6 +78,10 @@ def measure_figure07_speed(quick: bool = True) -> Dict[str, object]:
     ``events_per_sec`` / ``packets_per_sec`` over the whole mix.  The
     ``events_fired`` totals are deterministic (same seed, same engine
     semantics); only the wall-clock figures vary run to run.
+
+    A 4-queue multi-queue rig rides along: it stresses the per-CPU
+    receive paths and the RSS steering layer, which none of the classic
+    points touch.
     """
     duration, warmup = window(quick)
     points: List[Dict[str, float]] = []
@@ -62,6 +90,12 @@ def measure_figure07_speed(quick: bool = True) -> Dict[str, object]:
             points.append(
                 measure_stream_speed(config_fn(), opt, duration=duration, warmup=warmup)
             )
+    points.append(
+        measure_mq_stream_speed(
+            linux_smp_config(), OptimizationConfig.optimized(), queues=4,
+            duration=duration, warmup=warmup,
+        )
+    )
     wall = sum(p["wall_s"] for p in points)
     events = sum(p["events_fired"] for p in points)
     packets = sum(p["network_packets"] for p in points)

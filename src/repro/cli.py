@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run figure7 [--quick] [--sanitize] [--csv out.csv] [--jobs N]
+    python -m repro run extension_rss_scaling [--queues 1 2 4 8] [--jobs N]
     python -m repro all [--quick] [--csv-dir results/] [--jobs N]
     python -m repro report [--quick] [EXPERIMENTS.md]
 
@@ -49,7 +50,9 @@ def _print_result(result, csv_path=None) -> None:
 
 def _cmd_run(args) -> int:
     try:
-        result = run_experiment(args.experiment, quick=args.quick, jobs=args.jobs)
+        result = run_experiment(
+            args.experiment, quick=args.quick, jobs=args.jobs, queues=args.queues
+        )
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -101,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None, metavar="N",
         help="worker processes for sweep experiments (-1 = all CPUs); "
         "rows are identical to a serial run",
+    )
+    p_run.add_argument(
+        "--queues", type=int, nargs="+", default=None, metavar="Q",
+        help="receive-queue counts to sweep (experiments with a queues "
+        "parameter, e.g. extension_rss_scaling; others ignore it)",
     )
     p_run.set_defaults(fn=_cmd_run)
 

@@ -28,9 +28,15 @@ class Category:
     TCP_RX = "tcp rx"
     TCP_TX = "tcp tx"
     XEN = "xen"
+    #: Cross-CPU traffic in the multi-queue model: cache-line bouncing on
+    #: shared connection state plus IPI/remote-wakeup cycles.  Not a paper
+    #: axis — the paper's SMP runs fold this into the blanket lock factors.
+    XCPU = "xcpu"
 
     #: Axis order for the native-Linux breakdown figures (3, 4, 8, 9).
     NATIVE_ORDER = (PER_BYTE, RX, TX, BUFFER, NON_PROTO, DRIVER, MISC, AGGR)
+    #: Axis order for multi-queue (RSS) breakdowns: native plus ``xcpu``.
+    MQ_ORDER = NATIVE_ORDER + (XCPU,)
     #: Axis order for the Xen breakdown figures (6, 10).
     XEN_ORDER = (
         PER_BYTE,

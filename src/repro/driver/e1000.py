@@ -40,7 +40,12 @@ class DriverStats:
 
 
 class E1000Driver:
-    """One driver instance bound to one NIC, processing on one CPU."""
+    """One driver instance bound to one NIC queue, processing on one CPU.
+
+    Single-queue NICs (the default) have exactly one driver instance bound
+    to queue 0; a multi-queue NIC has one instance per queue, each bound to
+    the CPU that queue's MSI-X vector targets (see :mod:`repro.mq`).
+    """
 
     def __init__(
         self,
@@ -51,10 +56,12 @@ class E1000Driver:
         aggregation: bool = False,
         tso: bool = False,
         mss: int = 1448,
+        queue_index: int = 0,
         name: str = "e1000-0",
     ):
         self.cpu = cpu
         self.nic = nic
+        self.queue = nic.queues[queue_index]
         self.kernel = kernel
         self.pool = pool
         self.aggregation = aggregation and nic.checksum_offload
@@ -62,7 +69,7 @@ class E1000Driver:
         self.mss = mss
         self.name = name
         self.stats = DriverStats()
-        nic.bind_driver(self)
+        nic.bind_driver(self, queue_index)
 
     # ------------------------------------------------------------------
     # receive
@@ -76,10 +83,10 @@ class E1000Driver:
         consume = self.cpu.consume
         self.stats.isr_runs += 1
         consume(costs.driver_irq, Category.DRIVER)
-        pkts = self.nic.ring.drain()
-        self.nic.last_drain_count = len(pkts)
+        pkts = self.queue.ring.drain()
+        self.queue.last_drain_count = len(pkts)
         if not pkts:
-            self.nic.poll_ring()
+            self.queue.poll()
             return
         self.stats.rx_packets += len(pkts)
         prof = self.cpu.profiler
@@ -109,7 +116,7 @@ class E1000Driver:
             self.kernel.softirq_baseline(skbs)
         # Packets that arrived while we were processing get a fresh
         # (moderated) interrupt.
-        self.nic.poll_ring()
+        self.queue.poll()
 
     # ------------------------------------------------------------------
     # transmit

@@ -12,6 +12,7 @@ from repro.experiments import (
     extension_itr,
     extension_jumbo,
     extension_load_sensitivity,
+    extension_rss_scaling,
     extension_tso,
     figure01_prefetching,
     figure02_systems,
@@ -47,18 +48,24 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_itr": extension_itr.run,
     "extension_bidirectional": extension_bidirectional.run,
     "extension_load_sensitivity": extension_load_sensitivity.run,
+    "extension_rss_scaling": extension_rss_scaling.run,
     "extension_tso": extension_tso.run,
 }
 
 
 def run_experiment(
-    experiment_id: str, quick: bool = False, jobs: Optional[int] = None
+    experiment_id: str,
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    queues: Optional[List[int]] = None,
 ) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"figure7"``).
 
     ``jobs`` requests process-level parallelism for sweep experiments that
     support it (see :mod:`repro.parallel`); experiments without a ``jobs``
     parameter simply run serially.  Results are identical either way.
+    ``queues`` overrides the swept receive-queue counts for experiments
+    that take one (``extension_rss_scaling``); others ignore it.
     """
     try:
         fn = REGISTRY[experiment_id]
@@ -66,9 +73,13 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
-    if jobs is not None and "jobs" in inspect.signature(fn).parameters:
-        return fn(quick=quick, jobs=jobs)
-    return fn(quick=quick)
+    params = inspect.signature(fn).parameters
+    kwargs = {}
+    if jobs is not None and "jobs" in params:
+        kwargs["jobs"] = jobs
+    if queues is not None and "queues" in params:
+        kwargs["queues"] = queues
+    return fn(quick=quick, **kwargs)
 
 
 def run_all(quick: bool = True, jobs: Optional[int] = None) -> List[ExperimentResult]:

@@ -267,11 +267,17 @@ class Kernel:
             name=f"{self.name}:accept:{key.dst_port}",
         )
         conn.passive_open()
-        sock = KernelSocket(self, conn)
+        sock = self._accept_socket(key, conn)
         self.connections[key] = conn
         self.sockets[key] = sock
         on_accept(sock)
         return conn, sock
+
+    def _accept_socket(self, key: FlowKey, conn: TcpConnection) -> KernelSocket:
+        """Create the socket for a newly accepted connection.  Hook point:
+        the multi-queue kernel overrides this to pin the socket to an
+        application CPU and program flow steering."""
+        return KernelSocket(self, conn)
 
     # ------------------------------------------------------------------
     # application drain (end of softirq)

@@ -70,6 +70,7 @@ class ReceiverMachine:
         client: ClientHost,
         drop_prob: float = 0.0,
         reorder_prob: float = 0.0,
+        dup_prob: float = 0.0,
         rng=None,
     ) -> Nic:
         """Attach a client machine via a dedicated NIC and full-duplex link."""
@@ -97,8 +98,8 @@ class ReceiverMachine:
         )
         inbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
-            drop_prob=drop_prob, reorder_prob=reorder_prob, rng=rng,
-            name=f"{client.name}->{nic.name}",
+            drop_prob=drop_prob, reorder_prob=reorder_prob, dup_prob=dup_prob,
+            rng=rng, name=f"{client.name}->{nic.name}",
         )
         outbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
@@ -121,7 +122,14 @@ class ReceiverMachine:
         return self.cpu.profiler
 
     def total_ring_drops(self) -> int:
-        return sum(nic.stats.rx_dropped_ring_full for nic in self.nics)
+        """Tail drops summed over every queue of every NIC."""
+        return sum(q.ring.dropped for nic in self.nics for q in nic.queues)
+
+    def per_queue_counters(self) -> List[dict]:
+        """Per-queue drop/occupancy rows (see reporting.queue_stats_rows)."""
+        from repro.analysis.reporting import queue_stats_rows
+
+        return queue_stats_rows(self.nics)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ReceiverMachine({self.config.name!r}, opt={self.opt}, nics={len(self.nics)})"

@@ -1,0 +1,86 @@
+"""Mechanistic cross-CPU costs for the multi-queue receive model.
+
+The paper's SMP runs use a *blanket* lock-inflation model
+(:mod:`repro.cpu.locks`): every rx cycle costs 62% more, every tx cycle 40%
+more, regardless of where the contention actually comes from.  That is the
+right model for a single shared receive path, where lock-prefixed atomics
+on shared queues dominate.
+
+With one receive path per CPU most of that contention disappears: each
+queue's ring, LRO context, and aggregation queue are CPU-private.  What
+remains is *traffic between* CPUs, which we charge mechanistically where it
+happens instead of inflating everything:
+
+* **Cache-line bouncing** — when softirq processing for a flow runs on a
+  different CPU than the application consuming it, the connection's hot
+  state (sk_buff queue head, tcp state block, socket fields) must move
+  between caches.  We charge ``conn_state_lines`` line transfers per
+  cross-CPU packet delivery at ``cache_line_bounce_cycles`` each — the
+  canonical ~100+ns cross-core cache-to-cache transfer latency expressed
+  in cycles.
+
+* **IPI + remote wakeup** — waking an application blocked on another CPU
+  costs an inter-processor interrupt on the sending side and an interrupt
+  entry/schedule on the receiving side.
+
+Both are charged to :data:`repro.cpu.categories.Category.XCPU` so the
+breakdown figures show exactly how much the rig pays for cross-CPU traffic
+— and how much aRFS-style steering claws back by making it zero.
+
+A *residual* lock model (:func:`mq_lock_model`) still applies: even with
+per-CPU paths, the stack keeps its lock-prefixed atomics (socket refcounts,
+memory accounting), which cost more than plain ops on SMP even when
+uncontended.  The factors are therefore much smaller than the paper's
+contended defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.categories import Category
+from repro.cpu.locks import LockModel
+
+
+@dataclass
+class CrossCpuCostModel:
+    """Cycle costs of cross-CPU traffic, charged to ``Category.XCPU``."""
+
+    #: One cache-to-cache line transfer (~100ns at the paper's clocks).
+    cache_line_bounce_cycles: float = 180.0
+    #: Hot connection-state lines touched per packet delivered cross-CPU
+    #: (socket, tcp control block, receive-queue head, accounting).
+    conn_state_lines: int = 4
+    #: Sending an inter-processor interrupt (charged on the sender).
+    ipi_cycles: float = 1200.0
+    #: Taking the IPI and scheduling the woken task (charged on the target).
+    remote_wakeup_cycles: float = 2400.0
+
+    def bounce_cycles(self) -> float:
+        """Cycles to pull one packet's connection state across caches."""
+        return self.conn_state_lines * self.cache_line_bounce_cycles
+
+
+def mq_lock_model() -> LockModel:
+    """Residual SMP atomic-op inflation for per-CPU receive paths.
+
+    The blanket factors of :func:`repro.cpu.locks._default_factors` price in
+    *contended* shared queues; with per-CPU rings/LRO/aggregation those
+    queues are private and only uncontended lock-prefixed atomics remain.
+    Contention that does remain (cross-CPU socket state) is charged
+    mechanistically by :class:`CrossCpuCostModel` instead.
+    """
+    return LockModel(
+        enabled=True,
+        factors={
+            Category.RX: 1.18,
+            Category.TX: 1.12,
+            Category.NON_PROTO: 1.08,
+            Category.DRIVER: 1.02,
+            Category.BUFFER: 1.00,
+            Category.PER_BYTE: 1.00,
+            Category.MISC: 1.04,
+            Category.AGGR: 1.00,
+            Category.XCPU: 1.00,  # already a cross-CPU cost; don't double-charge
+        },
+    )

@@ -1,0 +1,190 @@
+"""The multi-queue receive host: N CPUs, N receive paths, one kernel.
+
+Mirrors :class:`repro.host.machine.ReceiverMachine`, scaled out the way
+Linux scales RSS hardware: every NIC exposes ``queues`` receive queues,
+queue *i*'s MSI-X vector targets CPU *i*, and CPU *i* runs a complete
+receive path — driver ISR, per-queue (per-CPU, lock-free — §3.5)
+aggregation engine, softirq, and the application drain for sockets pinned
+to it.  A shared :class:`~repro.mq.steering.SteeringPolicy` (one per
+machine, like one RSS configuration per host) picks the queue for every
+arriving frame.
+
+Instead of the paper's blanket SMP lock inflation the CPUs run the
+residual :func:`~repro.mq.costs.mq_lock_model`, and cross-CPU traffic is
+charged mechanistically by :class:`~repro.mq.costs.CrossCpuCostModel`
+(see :mod:`repro.mq.kernel`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.buffers.pool import BufferPool
+from repro.core.aggregation import AggregationEngine
+from repro.cpu.cpu import Cpu
+from repro.driver.e1000 import E1000Driver
+from repro.host.client import ClientHost
+from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.mq.costs import CrossCpuCostModel, mq_lock_model
+from repro.mq.kernel import MqKernel, SoftirqPort
+from repro.mq.steering import SteeringPolicy, make_policy
+from repro.net.addresses import ip_from_str
+from repro.nic.lro import LroEngine
+from repro.nic.nic import Nic
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+
+
+class MqReceiverMachine:
+    """A server machine with ``queues`` per-CPU receive paths."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SystemConfig,
+        opt: OptimizationConfig,
+        queues: int = 4,
+        steering: Union[str, SteeringPolicy] = "rss",
+        cross: Optional[CrossCpuCostModel] = None,
+        ip: Optional[int] = None,
+        name: str = "mq-server",
+    ):
+        if queues < 1:
+            raise ValueError("MqReceiverMachine needs at least one queue")
+        self.sim = sim
+        self.config = config
+        self.opt = opt
+        self.queues = queues
+        self.ip = ip if ip is not None else ip_from_str("10.0.0.1")
+        self.name = name
+        self.steering = (
+            steering if isinstance(steering, SteeringPolicy) else make_policy(steering, queues)
+        )
+        self.cross = cross if cross is not None else CrossCpuCostModel()
+
+        self.cpus: List[Cpu] = [
+            Cpu(
+                sim,
+                config.cpu_freq_hz,
+                costs=config.costs,
+                locks=mq_lock_model(),
+                name=f"{name}-cpu{i}",
+            )
+            for i in range(queues)
+        ]
+        self.pool = BufferPool(name=f"{name}-skb")
+        self.kernel = MqKernel(
+            sim,
+            self.cpus,
+            config,
+            opt,
+            steering=self.steering,
+            cross=self.cross,
+            pool=self.pool,
+            name=name,
+        )
+        self.kernel.set_ip(self.ip)
+
+        self.nics: List[Nic] = []
+        self.drivers: List[List[E1000Driver]] = []  # per nic: one per queue
+        self.clients: List[ClientHost] = []
+
+    # ------------------------------------------------------------------
+    def add_client(
+        self,
+        client: ClientHost,
+        drop_prob: float = 0.0,
+        reorder_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        rng=None,
+    ) -> Nic:
+        """Attach a client via a multi-queue NIC and full-duplex link."""
+        cfg = self.config
+        index = len(self.nics)
+        nic = Nic(
+            self.sim,
+            ring_size=cfg.rx_ring_size,
+            itr_interval_s=cfg.itr_interval_s,
+            checksum_offload=cfg.checksum_offload,
+            mtu=cfg.mtu,
+            lro=LroEngine(limit=cfg.lro_limit) if cfg.nic_lro else None,
+            n_queues=self.queues,
+            steering=self.steering,
+            name=f"{self.name}-eth{index}",
+        )
+        nic.adaptive_itr = cfg.adaptive_itr
+        nic_drivers: List[E1000Driver] = []
+        for q in range(self.queues):
+            aggregator = None
+            if self.opt.receive_aggregation:
+                # §3.5's per-CPU aggregation queue, one per receive path.
+                aggregator = AggregationEngine(
+                    cpu=self.cpus[q],
+                    costs=cfg.costs,
+                    opt=self.opt,
+                    pool=self.pool,
+                    deliver=self.kernel.deliver_host_skb,
+                    name=f"{self.name}-aggr{index}.{q}",
+                )
+                self.kernel.aggregators.append(aggregator)
+            port = SoftirqPort(self.kernel, q, aggregator=aggregator)
+            driver = E1000Driver(
+                cpu=self.cpus[q],
+                nic=nic,
+                kernel=port,
+                pool=self.pool,
+                aggregation=self.opt.receive_aggregation,
+                tso=cfg.tso,
+                mss=cfg.mss,
+                queue_index=q,
+                name=f"{self.name}-e1000-{index}.{q}",
+            )
+            nic_drivers.append(driver)
+        inbound = Link(
+            self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
+            drop_prob=drop_prob, reorder_prob=reorder_prob, dup_prob=dup_prob,
+            rng=rng, name=f"{client.name}->{nic.name}",
+        )
+        outbound = Link(
+            self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
+            name=f"{nic.name}->{client.name}",
+        )
+        client.attach_tx(inbound)
+        nic.attach_tx(outbound)
+        self.kernel.register_route(client.ip, nic_drivers)
+        self.nics.append(nic)
+        self.drivers.append(nic_drivers)
+        self.clients.append(client)
+        return nic
+
+    # ------------------------------------------------------------------
+    def listen(self, port: int, on_accept=None) -> None:
+        self.kernel.listen(port, on_accept)
+
+    @property
+    def profiler(self):
+        """CPU 0's profiler (use :meth:`merged_profile` for the machine)."""
+        return self.cpus[0].profiler
+
+    def merged_profile(self):
+        """Cycle/packet counters summed across every CPU."""
+        return self.cpus[0].profiler.merged([cpu.profiler for cpu in self.cpus[1:]])
+
+    def total_busy_cycles(self) -> float:
+        return sum(cpu.busy_cycles for cpu in self.cpus)
+
+    def total_ring_drops(self) -> int:
+        """Tail drops summed over every queue of every NIC."""
+        return sum(q.ring.dropped for nic in self.nics for q in nic.queues)
+
+    def per_queue_counters(self) -> List[dict]:
+        """Per-queue drop/occupancy rows (see reporting.queue_stats_rows)."""
+        from repro.analysis.reporting import queue_stats_rows
+
+        return queue_stats_rows(self.nics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MqReceiverMachine(queues={self.queues}, "
+            f"steering={self.steering.name!r}, nics={len(self.nics)})"
+        )

@@ -1,0 +1,136 @@
+"""Receive-Side Scaling hash and indirection table.
+
+Implements the standard Toeplitz hash exactly as RSS-capable NICs do
+(Microsoft's "Scalable Networking" specification, adopted by e1000e/igb/
+ixgbe-class hardware): the 12-byte IPv4+TCP input — source address, then
+destination address, then source port, then destination port, all in
+network byte order — is folded bit-by-bit against a sliding 32-bit window
+of the 40-byte secret key.  The implementation is verified against the
+specification's published IPv4-with-TCP test vectors (see
+``tests/test_rss.py``).
+
+The hash feeds a 128-entry **indirection table** (the size e1000-class
+hardware exposes): the low 7 bits of the hash select a slot and the slot
+names a queue.  Rebalancing or aRFS-style flow steering reprograms slots or
+adds exact-match filters *above* this table — see :mod:`repro.mq.steering`.
+
+Everything here is deterministic: same key, same flow, same queue — a
+property both the experiments (reproducible sweeps) and the sanitizer's
+same-flow-same-queue audit rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: The specification's well-known 40-byte default key (also the default of
+#: many NIC drivers).  320 bits: enough for a 12-byte IPv4+TCP input
+#: (96 windows of 32 bits) with room for IPv6 inputs.
+RSS_DEFAULT_KEY = bytes(
+    (
+        0x6D, 0x5A, 0x56, 0xDA, 0x25, 0x5B, 0x0E, 0xC2,
+        0x41, 0x67, 0x25, 0x3D, 0x43, 0xA3, 0x8F, 0xB0,
+        0xD0, 0xCA, 0x2B, 0xCB, 0xAE, 0x7B, 0x30, 0xB4,
+        0x77, 0xCB, 0x2D, 0xA3, 0x80, 0x30, 0xF2, 0x0C,
+        0x6A, 0x42, 0xB7, 0x3B, 0xBE, 0xAC, 0x01, 0xFA,
+    )
+)
+
+#: Indirection-table size of e1000/igb-class hardware.
+INDIRECTION_SLOTS = 128
+
+_U32 = 0xFFFFFFFF
+
+
+def toeplitz_hash(data: bytes, key: bytes = RSS_DEFAULT_KEY) -> int:
+    """The Toeplitz hash of ``data`` under ``key`` (32-bit result).
+
+    For each input bit that is set (processed MSB-first), XOR in the 32-bit
+    window of the key starting at that bit position.
+    """
+    if len(key) * 8 < len(data) * 8 + 32:
+        raise ValueError("RSS key too short for input")
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    result = 0
+    bit_index = 0
+    for byte in data:
+        for bit in range(7, -1, -1):
+            if byte & (1 << bit):
+                result ^= (key_int >> (key_bits - 32 - bit_index)) & _U32
+            bit_index += 1
+    return result
+
+
+def flow_input_bytes(src_ip: int, src_port: int, dst_ip: int, dst_port: int) -> bytes:
+    """The 12-byte IPv4+TCP hash input, in specification order."""
+    return (
+        src_ip.to_bytes(4, "big")
+        + dst_ip.to_bytes(4, "big")
+        + src_port.to_bytes(2, "big")
+        + dst_port.to_bytes(2, "big")
+    )
+
+
+class RssHasher:
+    """Toeplitz hasher with a per-flow result cache.
+
+    The NIC hashes every arriving frame; flows are long-lived, so the
+    simulation computes each flow's hash once and reuses it.  The cache is
+    keyed by the :class:`~repro.net.flow.FlowKey` 4-tuple, which is exactly
+    the hash input, so it can never alias.
+    """
+
+    __slots__ = ("key", "_cache")
+
+    def __init__(self, key: bytes = RSS_DEFAULT_KEY):
+        self.key = key
+        self._cache: Dict[Tuple[int, int, int, int], int] = {}
+
+    def hash_flow(self, flow_key) -> int:
+        """32-bit RSS hash of a (src_ip, src_port, dst_ip, dst_port) key."""
+        cached = self._cache.get(flow_key)
+        if cached is None:
+            src_ip, src_port, dst_ip, dst_port = flow_key
+            cached = toeplitz_hash(
+                flow_input_bytes(src_ip, src_port, dst_ip, dst_port), self.key
+            )
+            self._cache[flow_key] = cached
+        return cached
+
+
+class IndirectionTable:
+    """Hash-to-queue indirection, initialized round-robin like Linux does
+    (``ethtool -x``: queue ``slot % n_queues`` in each slot)."""
+
+    __slots__ = ("slots", "n_queues")
+
+    def __init__(self, n_queues: int, n_slots: int = INDIRECTION_SLOTS):
+        if n_queues < 1:
+            raise ValueError("indirection table needs at least one queue")
+        if n_slots < 1 or n_slots & (n_slots - 1):
+            raise ValueError("indirection table size must be a power of two")
+        self.n_queues = n_queues
+        self.slots: List[int] = [i % n_queues for i in range(n_slots)]
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def slot_of(self, hash_value: int) -> int:
+        return hash_value & (len(self.slots) - 1)
+
+    def queue_for(self, hash_value: int) -> int:
+        return self.slots[hash_value & (len(self.slots) - 1)]
+
+    def program(self, slot: int, queue: int) -> None:
+        """Reprogram one slot (ethtool-style rebalancing)."""
+        if not 0 <= queue < self.n_queues:
+            raise ValueError(f"queue {queue} out of range")
+        self.slots[slot] = queue
+
+    def occupancy(self, hashes: Sequence[int]) -> List[int]:
+        """Per-slot hit counts for a set of flow hashes (diagnostics)."""
+        counts = [0] * len(self.slots)
+        for h in hashes:
+            counts[self.slot_of(h)] += 1
+        return counts

@@ -1,0 +1,143 @@
+"""Pluggable receive-flow steering policies.
+
+A steering policy answers one question per arriving frame: *which receive
+queue does this flow's traffic go to?*  Two policies are provided:
+
+* :class:`StaticRssSteering` — pure hardware RSS: Toeplitz hash into the
+  128-entry indirection table.  Flows land on queues pseudo-randomly, so a
+  flow's softirq CPU and the CPU its consuming application runs on agree
+  only by luck — the cross-CPU cost model (cache-line bouncing, remote
+  wakeup IPIs) charges for every disagreement.
+
+* :class:`FlowSteering` — aRFS-style steer-to-consuming-CPU ("A
+  Transport-Friendly NIC for Multicore/Multiprocessor Systems" makes the
+  same observation in hardware): when the kernel learns which CPU consumes
+  a flow (at accept time here; on every ``recvmsg`` in Linux), it installs
+  an exact-match filter overriding RSS so subsequent frames interrupt the
+  consuming CPU directly.  Unmatched flows fall back to RSS.
+
+Policies are deterministic: ``select`` is a pure function of the policy's
+programmed state, and state changes only through ``note_consumer``.  The
+``generation`` counter lets auditors (the sanitizer's same-flow-same-queue
+check) distinguish a legitimate re-steer from nondeterministic steering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.mq.rss import INDIRECTION_SLOTS, RSS_DEFAULT_KEY, IndirectionTable, RssHasher
+
+
+@dataclass
+class SteeringStats:
+    rss_selected: int = 0
+    filter_selected: int = 0
+    filters_installed: int = 0
+    filters_reprogrammed: int = 0
+
+
+class SteeringPolicy:
+    """Base policy: hash + indirection table, no exact-match filters."""
+
+    name = "rss"
+
+    def __init__(
+        self,
+        n_queues: int,
+        key: bytes = RSS_DEFAULT_KEY,
+        n_slots: int = INDIRECTION_SLOTS,
+    ):
+        self.n_queues = n_queues
+        self.hasher = RssHasher(key)
+        self.table = IndirectionTable(n_queues, n_slots)
+        self.stats = SteeringStats()
+
+    # ------------------------------------------------------------------
+    def select(self, flow_key) -> int:
+        """Queue index for a flow (counted in stats; hardware hot path)."""
+        self.stats.rss_selected += 1
+        return self.table.queue_for(self.hasher.hash_flow(flow_key))
+
+    def peek(self, flow_key) -> int:
+        """Like :meth:`select` but side-effect free (auditors use this)."""
+        return self.table.queue_for(self.hasher.hash_flow(flow_key))
+
+    def note_consumer(self, flow_key, cpu_index: int) -> None:
+        """The kernel observed ``flow_key`` being consumed on ``cpu_index``."""
+
+    def generation(self, flow_key) -> int:
+        """Steering generation for a flow; bumps whenever the flow's queue
+        assignment legitimately changes (0 forever under static RSS)."""
+        return 0
+
+
+class StaticRssSteering(SteeringPolicy):
+    """Hardware RSS with a static indirection table (the common default)."""
+
+    name = "rss"
+
+
+class FlowSteering(SteeringPolicy):
+    """aRFS-style accelerated flow steering: exact-match filters route a
+    flow to the CPU that consumes it; RSS handles everything else."""
+
+    name = "arfs"
+
+    def __init__(
+        self,
+        n_queues: int,
+        key: bytes = RSS_DEFAULT_KEY,
+        n_slots: int = INDIRECTION_SLOTS,
+    ):
+        super().__init__(n_queues, key, n_slots)
+        self.filters: Dict[tuple, int] = {}
+        self._generations: Dict[tuple, int] = {}
+
+    def select(self, flow_key) -> int:
+        queue = self.filters.get(flow_key)
+        if queue is not None:
+            self.stats.filter_selected += 1
+            return queue
+        self.stats.rss_selected += 1
+        return self.table.queue_for(self.hasher.hash_flow(flow_key))
+
+    def peek(self, flow_key) -> int:
+        queue = self.filters.get(flow_key)
+        if queue is not None:
+            return queue
+        return self.table.queue_for(self.hasher.hash_flow(flow_key))
+
+    def note_consumer(self, flow_key, cpu_index: int) -> None:
+        queue = cpu_index % self.n_queues
+        current = self.filters.get(flow_key)
+        if current == queue:
+            return
+        if current is None:
+            self.stats.filters_installed += 1
+        else:
+            self.stats.filters_reprogrammed += 1
+        self.filters[flow_key] = queue
+        self._generations[flow_key] = self._generations.get(flow_key, 0) + 1
+
+    def generation(self, flow_key) -> int:
+        return self._generations.get(flow_key, 0)
+
+
+#: Registry for CLI/experiment wiring.
+POLICIES = {
+    StaticRssSteering.name: StaticRssSteering,
+    FlowSteering.name: FlowSteering,
+}
+
+
+def make_policy(name: str, n_queues: int, **kwargs) -> SteeringPolicy:
+    """Instantiate a steering policy by registry name (``rss``/``arfs``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown steering policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls(n_queues, **kwargs)

@@ -7,16 +7,25 @@ Models the receive-relevant features of the paper's Intel Pro/1000 (e1000):
 * interrupt moderation (ITR): at most one interrupt per ``itr_interval``,
   which is what batches packets and creates the aggregation opportunity,
 * transmission onto the attached link.
+
+The NIC is queue-structured: it owns ``n_queues`` independent
+:class:`~repro.nic.queue.RxQueue` instances, each with its own ring,
+interrupt/AIM state, and optional LRO context.  A single-queue NIC (the
+default, and everything the paper measures) behaves exactly as before; with
+``n_queues > 1`` a steering policy (RSS hash + indirection table, or
+aRFS-style flow steering — see :mod:`repro.mq.steering`) picks the queue for
+every arriving frame, and each queue interrupts its own servicing CPU.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.nic.lro import LroEngine
-from repro.nic.ring import RxRing
+from repro.nic.queue import RxQueue
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 
@@ -31,7 +40,7 @@ class NicStats:
 
 
 class Nic:
-    """One NIC port with rx ring, moderated interrupts, and tx."""
+    """One NIC port with per-queue rx rings, moderated interrupts, and tx."""
 
     def __init__(
         self,
@@ -41,35 +50,76 @@ class Nic:
         checksum_offload: bool = True,
         mtu: int = 1500,
         lro: Optional[LroEngine] = None,
+        n_queues: int = 1,
+        steering=None,
         name: str = "eth0",
     ):
+        if n_queues < 1:
+            raise ValueError("a NIC needs at least one receive queue")
+        if n_queues > 1 and steering is None:
+            raise ValueError("multi-queue NICs need a steering policy")
         self.sim = sim
-        self.ring = RxRing(ring_size)
         self.itr_interval_s = itr_interval_s
         self.checksum_offload = checksum_offload
         self.mtu = mtu
-        self.lro = lro
         self.name = name
         self.stats = NicStats()
+        self.n_queues = n_queues
+        self.steering = steering
 
-        self.driver = None  # set by the driver when it binds
-        self.tx_link: Optional[Link] = None
-        self._irq_pending = False
-        self._last_irq_time = -1e9
         #: Adaptive interrupt moderation (e1000 AIM): low arrival rates
         #: (latency-sensitive traffic) get immediate interrupts; bulk
         #: traffic is throttled to one interrupt per ITR interval.  The
-        #: rate estimate is an EWMA of packet inter-arrival times.
+        #: rate estimate is an EWMA of packet inter-arrival times,
+        #: tracked per queue.
         self.adaptive_itr = True
         self.latency_cutoff_s = itr_interval_s / 8.0
-        self._last_arrival = -1e9
-        self._ewma_interarrival = 1.0
-        self._ewma_frame_bytes = 1500.0
-        self.last_drain_count = 0
+
+        self.queues: List[RxQueue] = []
+        for i in range(n_queues):
+            # Hardware LRO contexts are per queue (each queue merges its own
+            # flows); queue 0 takes the caller's engine, the rest get clones.
+            if lro is None:
+                q_lro = None
+            elif i == 0:
+                q_lro = lro
+            else:
+                q_lro = LroEngine(limit=lro.limit, sessions=lro.max_sessions)
+            self.queues.append(RxQueue(self, i, ring_size, lro=q_lro))
+
+        self.tx_link: Optional[Link] = None
+        #: Flow -> (queue index, steering generation) as observed at DMA
+        #: time; the sanitizer's same-flow-same-queue audit reads this
+        #: (multi-queue only — single-queue NICs never populate it).
+        self.flow_queue_observed: Dict[FlowKey, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
-    def bind_driver(self, driver) -> None:
-        self.driver = driver
+    # single-queue compatibility surface
+    # ------------------------------------------------------------------
+    @property
+    def ring(self):
+        """Queue 0's descriptor ring (the whole NIC, pre-multi-queue)."""
+        return self.queues[0].ring
+
+    @property
+    def lro(self) -> Optional[LroEngine]:
+        return self.queues[0].lro
+
+    @property
+    def driver(self):
+        return self.queues[0].driver
+
+    @property
+    def last_drain_count(self) -> int:
+        return self.queues[0].last_drain_count
+
+    @last_drain_count.setter
+    def last_drain_count(self, value: int) -> None:
+        self.queues[0].last_drain_count = value
+
+    # ------------------------------------------------------------------
+    def bind_driver(self, driver, queue: int = 0) -> None:
+        self.queues[queue].driver = driver
 
     def attach_tx(self, link: Link) -> None:
         self.tx_link = link
@@ -78,74 +128,25 @@ class Nic:
     # receive path
     # ------------------------------------------------------------------
     def rx_frame(self, pkt: Packet) -> None:
-        """Link sink: DMA an arriving frame into the ring."""
-        stats = self.stats
-        stats.rx_frames += 1
+        """Link sink: steer an arriving frame and DMA it into a queue."""
+        self.stats.rx_frames += 1
         now = self.sim.now
         pkt.rx_time = now
-        gap = now - self._last_arrival
-        interarrival = gap if gap < 1.0 else 1.0
-        first_frame = self._last_arrival < 0
-        self._last_arrival = now
-        if first_frame:
-            pass  # no inter-arrival estimate yet; stay in latency mode
-        elif self._ewma_interarrival >= 1.0:
-            self._ewma_interarrival = interarrival  # seed from first gap
+        if self.n_queues == 1:
+            queue = self.queues[0]
         else:
-            self._ewma_interarrival = 0.9 * self._ewma_interarrival + 0.1 * interarrival
-        self._ewma_frame_bytes = 0.9 * self._ewma_frame_bytes + 0.1 * pkt.wire_len
-        if self.checksum_offload:
-            # The hardware validated the TCP checksum during DMA.  In
-            # byte-accurate runs this could be verified against the real
-            # checksum; the simulation trusts its own senders.
-            pkt.csum_verified = True
-            self.stats.rx_csum_offloaded += 1
-        if self.lro is not None:
-            posted_any = False
-            for out in self.lro.accept(pkt):
-                if self.ring.post(out):
-                    posted_any = True
-                else:
-                    stats.rx_dropped_ring_full += 1
-            self._maybe_raise_interrupt()
-        elif self.ring.post(pkt):
-            self._maybe_raise_interrupt()
-        else:
-            stats.rx_dropped_ring_full += 1
-
-    def _maybe_raise_interrupt(self) -> None:
-        """Raise an interrupt, subject to (adaptive) ITR moderation."""
-        if self._irq_pending:
-            return  # an interrupt is already pending
-        # Bulk vs latency classification is byte-rate aware (like e1000 AIM's
-        # throughput classes): large frames at a low packet rate still count
-        # as bulk traffic worth moderating.
-        bulk_cutoff = self.latency_cutoff_s * max(1.0, self._ewma_frame_bytes / 1500.0)
-        if self.adaptive_itr and self._ewma_interarrival > bulk_cutoff:
-            delay = 0.0
-        else:
-            earliest = self._last_irq_time + self.itr_interval_s
-            delay = max(0.0, earliest - self.sim.now)
-        self._irq_pending = True
-        self.sim.post(delay, self._fire_interrupt)
-
-    def _fire_interrupt(self) -> None:
-        self._irq_pending = False
-        self._last_irq_time = self.sim.now
-        self.stats.interrupts += 1
-        if self.lro is not None:
-            # Hardware closes its merge sessions when it asserts the interrupt.
-            for out in self.lro.flush():
-                if not self.ring.post(out):
-                    self.stats.rx_dropped_ring_full += 1
-        if self.driver is not None:
-            self.driver.on_interrupt(self)
+            key = pkt.flow_key
+            steering = self.steering
+            index = steering.select(key)
+            queue = self.queues[index]
+            self.flow_queue_observed[key] = (index, steering.generation(key))
+        queue.accept_frame(pkt, now)
 
     def poll_ring(self) -> None:
-        """Driver re-arm hook: if frames remain after a drain, a new
-        (moderated) interrupt will announce them."""
-        if not self.ring.empty:
-            self._maybe_raise_interrupt()
+        """Re-arm every queue that still holds frames (single-queue drivers
+        call this; per-queue drivers poll their own queue)."""
+        for queue in self.queues:
+            queue.poll()
 
     # ------------------------------------------------------------------
     # transmit path
@@ -157,4 +158,7 @@ class Nic:
         self.tx_link.send(pkt)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"Nic({self.name!r}, ring={len(self.ring)}/{self.ring.capacity})"
+        if self.n_queues == 1:
+            return f"Nic({self.name!r}, ring={len(self.ring)}/{self.ring.capacity})"
+        occupancy = "/".join(str(len(q.ring)) for q in self.queues)
+        return f"Nic({self.name!r}, queues={self.n_queues}, rings={occupancy})"

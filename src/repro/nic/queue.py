@@ -1,0 +1,126 @@
+"""One receive queue of a (multi-queue) NIC.
+
+An :class:`RxQueue` owns everything that real RSS-capable hardware
+replicates per queue: the descriptor ring, the interrupt/AIM moderation
+state (each queue has its own MSI-X vector and ITR register on e1000-class
+hardware), an optional per-queue LRO context, and the binding to the driver
+instance that services the queue.  The :class:`~repro.nic.nic.Nic` keeps the
+shared knobs (ITR interval, adaptive-ITR flag, checksum offload) and the
+port-level stats; queues hold only *state*, so a single-queue NIC behaves
+exactly like the pre-multi-queue implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.packet import Packet
+from repro.nic.lro import LroEngine
+from repro.nic.ring import RxRing
+
+
+class RxQueue:
+    """One rx ring plus its per-queue interrupt and moderation state."""
+
+    __slots__ = (
+        "nic",
+        "index",
+        "ring",
+        "lro",
+        "driver",
+        "interrupts",
+        "last_drain_count",
+        "_irq_pending",
+        "_last_irq_time",
+        "_last_arrival",
+        "_ewma_interarrival",
+        "_ewma_frame_bytes",
+    )
+
+    def __init__(self, nic, index: int, ring_size: int, lro: Optional[LroEngine] = None):
+        self.nic = nic
+        self.index = index
+        self.ring = RxRing(ring_size)
+        self.lro = lro
+        self.driver = None  # set via Nic.bind_driver
+        self.interrupts = 0
+        self.last_drain_count = 0
+        self._irq_pending = False
+        self._last_irq_time = -1e9
+        self._last_arrival = -1e9
+        self._ewma_interarrival = 1.0
+        self._ewma_frame_bytes = 1500.0
+
+    # ------------------------------------------------------------------
+    # receive path (called by Nic.rx_frame after steering)
+    # ------------------------------------------------------------------
+    def accept_frame(self, pkt: Packet, now: float) -> None:
+        """DMA one steered frame into this queue's ring."""
+        nic = self.nic
+        stats = nic.stats
+        gap = now - self._last_arrival
+        interarrival = gap if gap < 1.0 else 1.0
+        first_frame = self._last_arrival < 0
+        self._last_arrival = now
+        if first_frame:
+            pass  # no inter-arrival estimate yet; stay in latency mode
+        elif self._ewma_interarrival >= 1.0:
+            self._ewma_interarrival = interarrival  # seed from first gap
+        else:
+            self._ewma_interarrival = 0.9 * self._ewma_interarrival + 0.1 * interarrival
+        self._ewma_frame_bytes = 0.9 * self._ewma_frame_bytes + 0.1 * pkt.wire_len
+        if nic.checksum_offload:
+            # The hardware validated the TCP checksum during DMA.  In
+            # byte-accurate runs this could be verified against the real
+            # checksum; the simulation trusts its own senders.
+            pkt.csum_verified = True
+            stats.rx_csum_offloaded += 1
+        if self.lro is not None:
+            for out in self.lro.accept(pkt):
+                if not self.ring.post(out):
+                    stats.rx_dropped_ring_full += 1
+            self.maybe_raise_interrupt()
+        elif self.ring.post(pkt):
+            self.maybe_raise_interrupt()
+        else:
+            stats.rx_dropped_ring_full += 1
+
+    def maybe_raise_interrupt(self) -> None:
+        """Raise this queue's interrupt, subject to (adaptive) ITR moderation."""
+        if self._irq_pending:
+            return  # an interrupt is already pending
+        nic = self.nic
+        # Bulk vs latency classification is byte-rate aware (like e1000 AIM's
+        # throughput classes): large frames at a low packet rate still count
+        # as bulk traffic worth moderating.
+        bulk_cutoff = nic.latency_cutoff_s * max(1.0, self._ewma_frame_bytes / 1500.0)
+        if nic.adaptive_itr and self._ewma_interarrival > bulk_cutoff:
+            delay = 0.0
+        else:
+            earliest = self._last_irq_time + nic.itr_interval_s
+            delay = max(0.0, earliest - nic.sim.now)
+        self._irq_pending = True
+        nic.sim.post(delay, self._fire_interrupt)
+
+    def _fire_interrupt(self) -> None:
+        nic = self.nic
+        self._irq_pending = False
+        self._last_irq_time = nic.sim.now
+        self.interrupts += 1
+        nic.stats.interrupts += 1
+        if self.lro is not None:
+            # Hardware closes its merge sessions when it asserts the interrupt.
+            for out in self.lro.flush():
+                if not self.ring.post(out):
+                    nic.stats.rx_dropped_ring_full += 1
+        if self.driver is not None:
+            self.driver.on_interrupt(nic)
+
+    def poll(self) -> None:
+        """Driver re-arm hook: if frames remain after a drain, a new
+        (moderated) interrupt will announce them."""
+        if not self.ring.empty:
+            self.maybe_raise_interrupt()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RxQueue({self.nic.name}:{self.index}, ring={len(self.ring)}/{self.ring.capacity})"

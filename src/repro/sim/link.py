@@ -6,9 +6,10 @@ wire including per-frame overhead (preamble, CRC, inter-frame gap), which is
 what bounds the paper's "saturate five Gigabit links" numbers: 1500-byte MTU
 frames carry at most ~94% of the line rate as TCP payload.
 
-Optional impairments (drop probability, reorder probability) support the
-correctness experiments: aggregation must be bypassed for out-of-order or
-lost-then-retransmitted segments.
+Optional impairments (drop, reorder, and duplicate probabilities) support
+the correctness experiments: aggregation must be bypassed for out-of-order
+or lost-then-retransmitted segments, and duplicated frames must not be
+counted twice by the receiver's sequence tracking.
 """
 
 from __future__ import annotations
@@ -32,6 +33,7 @@ class LinkStats:
     frames_delivered: int = 0
     frames_dropped: int = 0
     frames_reordered: int = 0
+    frames_duplicated: int = 0
     bytes_sent: int = 0
     wire_bytes_sent: int = 0
 
@@ -49,10 +51,12 @@ class Link:
         One-way propagation delay in seconds.
     sink:
         Callback invoked as ``sink(frame)`` when a frame arrives.
-    drop_prob / reorder_prob:
+    drop_prob / reorder_prob / dup_prob:
         Per-frame impairment probabilities (default 0 — a clean LAN).
+        ``dup_prob`` delivers the frame twice (switch flooding / spurious
+        retransmit on the wire), the copy arriving just after the original.
     rng:
-        Random stream for impairments; required if either probability > 0.
+        Random stream for impairments; required if any probability > 0.
     name:
         Label used in reprs and stats dumps.
     """
@@ -66,10 +70,11 @@ class Link:
         drop_prob: float = 0.0,
         reorder_prob: float = 0.0,
         reorder_delay_s: float = 100e-6,
+        dup_prob: float = 0.0,
         rng: Optional[SeededRng] = None,
         name: str = "link",
     ):
-        if (drop_prob > 0 or reorder_prob > 0) and rng is None:
+        if (drop_prob > 0 or reorder_prob > 0 or dup_prob > 0) and rng is None:
             raise ValueError("impaired links need an rng")
         self.sim = sim
         self.rate_bps = rate_bps
@@ -78,6 +83,7 @@ class Link:
         self.drop_prob = drop_prob
         self.reorder_prob = reorder_prob
         self.reorder_delay_s = reorder_delay_s
+        self.dup_prob = dup_prob
         self.rng = rng
         self.name = name
         self.stats = LinkStats()
@@ -134,6 +140,13 @@ class Link:
             self.stats.frames_reordered += 1
 
         self.sim.call_at(arrival, self._deliver, frame)
+        if self.dup_prob > 0 and self.rng.random() < self.dup_prob:
+            # The duplicate arrives at the same instant; event-heap insertion
+            # order keeps the original strictly first.  Deliver an independent
+            # copy — the receive path mutates (and frees) what it is handed.
+            stats.frames_duplicated += 1
+            dup = frame.copy() if hasattr(frame, "copy") else frame
+            self.sim.call_at(arrival, self._deliver, dup)
         return done
 
     def _deliver(self, frame: Any) -> None:

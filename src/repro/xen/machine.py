@@ -105,6 +105,7 @@ class XenReceiverMachine:
         client: ClientHost,
         drop_prob: float = 0.0,
         reorder_prob: float = 0.0,
+        dup_prob: float = 0.0,
         rng=None,
     ) -> Nic:
         cfg = self.config
@@ -135,8 +136,8 @@ class XenReceiverMachine:
         )
         inbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
-            drop_prob=drop_prob, reorder_prob=reorder_prob, rng=rng,
-            name=f"{client.name}->{nic.name}",
+            drop_prob=drop_prob, reorder_prob=reorder_prob, dup_prob=dup_prob,
+            rng=rng, name=f"{client.name}->{nic.name}",
         )
         outbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
@@ -160,7 +161,14 @@ class XenReceiverMachine:
         return self.cpu.profiler
 
     def total_ring_drops(self) -> int:
-        return sum(nic.stats.rx_dropped_ring_full for nic in self.nics)
+        """Tail drops summed over every queue of every NIC."""
+        return sum(q.ring.dropped for nic in self.nics for q in nic.queues)
+
+    def per_queue_counters(self) -> List[dict]:
+        """Per-queue drop/occupancy rows (see reporting.queue_stats_rows)."""
+        from repro.analysis.reporting import queue_stats_rows
+
+        return queue_stats_rows(self.nics)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"XenReceiverMachine(opt={self.opt}, nics={len(self.nics)})"

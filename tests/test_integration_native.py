@@ -22,8 +22,8 @@ from tests.conftest import fast_config
 SERVER = ip_from_str("10.0.0.1")
 
 
-def run_transfer(opt, nbytes=400_000, drop=0.0, reorder=0.0, seed=11, until=20.0,
-                 close_after=False):
+def run_transfer(opt, nbytes=400_000, drop=0.0, reorder=0.0, dup=0.0, seed=11,
+                 until=20.0, close_after=False):
     """One materialized transfer through the costed machine; returns
     (server socket, machine, client socket)."""
     sim = Simulator()
@@ -33,7 +33,7 @@ def run_transfer(opt, nbytes=400_000, drop=0.0, reorder=0.0, seed=11, until=20.0
                                               lambda s, payload, length: received.append(payload)))
     client = ClientHost(sim, ip_from_str("10.0.1.1"))
     rng = SeededRng(seed, "impair")
-    machine.add_client(client, drop_prob=drop, reorder_prob=reorder, rng=rng)
+    machine.add_client(client, drop_prob=drop, reorder_prob=reorder, dup_prob=dup, rng=rng)
     sock = client.connect(SERVER, 5001, config=TcpConfig(materialize_payload=True))
     sock.conn.attach_source(InfiniteSource(materialize=True, seed=seed, limit_bytes=nbytes))
     if close_after:

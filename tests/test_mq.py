@@ -1,0 +1,197 @@
+"""Integration tests for the multi-queue RSS receive subsystem.
+
+Covers the properties the extension claims: byte-stream integrity through
+per-CPU receive paths (clean links and duplicated frames alike), determinism
+per seed, throughput scaling with queue count when the baseline stack is
+CPU-bound, the RSS-vs-aRFS cross-CPU cost story, and the sanitizer's
+multi-queue audits (including the same-flow-same-queue invariant).
+"""
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.host.client import ClientHost
+from repro.host.configs import linux_smp_config
+from repro.mq.machine import MqReceiverMachine
+from repro.mq.workload import run_mq_stream_experiment
+from repro.net.addresses import ip_from_str
+from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
+from repro.tcp.connection import TcpConfig
+from repro.tcp.source import InfiniteSource
+
+from tests.conftest import fast_config
+
+SERVER = ip_from_str("10.0.0.1")
+
+
+def run_mq_transfer(opt, queues=2, steering="rss", nbytes=200_000, n_conns=4,
+                    dup=0.0, seed=11, until=10.0):
+    """Materialized transfers through the multi-queue machine; returns
+    (machine, per-connection payloads received in order)."""
+    sim = Simulator()
+    machine = MqReceiverMachine(
+        sim, fast_config(n_nics=1), opt, queues=queues, steering=steering, ip=SERVER
+    )
+    received = {}
+
+    def on_accept(sock):
+        port = sock.conn.key.dst_port
+        received[port] = []
+        sock.on_data_cb = lambda s, payload, length: received[port].append(payload)
+
+    machine.listen(5001, on_accept)
+    client = ClientHost(sim, ip_from_str("10.0.1.1"))
+    rng = SeededRng(seed, "impair") if dup else None
+    machine.add_client(client, dup_prob=dup, rng=rng)
+    for j in range(n_conns):
+        sock = client.connect(SERVER, 5001, config=TcpConfig(materialize_payload=True))
+        sock.conn.attach_source(InfiniteSource(materialize=True, seed=seed + j, limit_bytes=nbytes))
+    sim.run(until=until)
+    return machine, received
+
+
+@pytest.mark.parametrize("steering", ["rss", "arfs"])
+@pytest.mark.parametrize("opt_name", ["baseline", "optimized"])
+def test_mq_transfer_integrity(opt_name, steering):
+    opt = getattr(OptimizationConfig, opt_name)()
+    machine, received = run_mq_transfer(opt, queues=2, steering=steering,
+                                        nbytes=120_000, n_conns=4)
+    assert len(machine.kernel.sockets) == 4
+    for j, sock in enumerate(sorted(machine.kernel.sockets.values(),
+                                    key=lambda s: s.conn.key.dst_port)):
+        assert sock.bytes_received == 120_000
+        payload = b"".join(p for p in received[sock.conn.key.dst_port] if p)
+        assert payload == InfiniteSource.pattern(0, 120_000, seed=11 + j)
+    machine.pool.assert_balanced()
+
+
+@pytest.mark.parametrize("steering", ["rss", "arfs"])
+def test_mq_transfer_integrity_under_duplication(steering):
+    """Duplicated wire frames must not corrupt or double-count the stream."""
+    machine, received = run_mq_transfer(
+        OptimizationConfig.optimized(), queues=2, steering=steering,
+        nbytes=100_000, n_conns=2, dup=0.05, until=20.0,
+    )
+    dup_link = machine.clients[0].tx_link
+    assert dup_link.stats.frames_duplicated > 0
+    for j, sock in enumerate(sorted(machine.kernel.sockets.values(),
+                                    key=lambda s: s.conn.key.dst_port)):
+        assert sock.bytes_received == 100_000
+        payload = b"".join(p for p in received[sock.conn.key.dst_port] if p)
+        assert payload == InfiniteSource.pattern(0, 100_000, seed=11 + j)
+    machine.pool.assert_balanced()
+
+
+def test_classic_machine_transfer_under_duplication():
+    """The single-path machine also survives duplicate frames (regression
+    for the dup_prob plumbing through ReceiverMachine)."""
+    from tests.test_integration_native import run_transfer
+
+    server_sock, machine, _, payload = run_transfer(
+        OptimizationConfig.optimized(), nbytes=100_000, until=20.0, dup=0.05
+    )
+    assert server_sock.bytes_received == 100_000
+    assert payload == InfiniteSource.pattern(0, 100_000, seed=11)
+    machine.pool.assert_balanced()
+
+
+def test_sockets_are_pinned_round_robin():
+    machine, _ = run_mq_transfer(OptimizationConfig.baseline(), queues=2, n_conns=4)
+    indices = [sock.app_cpu_index for _, sock in sorted(machine.kernel.sockets.items())]
+    assert sorted(indices) == [0, 0, 1, 1]
+
+
+def test_mq_run_is_deterministic():
+    a = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                 queues=4, n_connections=50, duration=0.02, warmup=0.01)
+    b = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                 queues=4, n_connections=50, duration=0.02, warmup=0.01)
+    assert a.throughput_mbps == b.throughput_mbps  # bit-identical
+    assert a.breakdown == b.breakdown
+
+
+def test_baseline_throughput_scales_with_queues_when_cpu_bound():
+    """At 200 connections the single-path baseline is CPU-bound; adding
+    receive queues must increase aggregate throughput monotonically."""
+    from repro.workloads.stream import run_stream_experiment
+
+    single = run_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                   n_connections=200, duration=0.03, warmup=0.02)
+    results = [single.throughput_mbps]
+    for q in (2, 4):
+        r = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                     queues=q, n_connections=200,
+                                     duration=0.03, warmup=0.02)
+        results.append(r.throughput_mbps)
+    assert results[0] < results[1] < results[2], results
+    assert single.cpu_utilization == pytest.approx(1.0)
+
+
+def test_arfs_eliminates_cross_cpu_costs():
+    rss = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                   queues=4, steering="rss",
+                                   n_connections=40, duration=0.02, warmup=0.01)
+    arfs = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.baseline(),
+                                    queues=4, steering="arfs",
+                                    n_connections=40, duration=0.02, warmup=0.01)
+    assert rss.breakdown.get("xcpu", 0.0) > 0.0
+    assert arfs.breakdown.get("xcpu", 0.0) == 0.0
+
+
+def test_mq_cycles_are_conserved_across_cpus():
+    """Profiled cycles summed over all CPUs equal total busy cycles."""
+    sim = Simulator()
+    machine = MqReceiverMachine(sim, fast_config(n_nics=1),
+                                OptimizationConfig.optimized(), queues=2, ip=SERVER)
+    machine.listen(5001)
+    client = ClientHost(sim, ip_from_str("10.0.1.1"))
+    machine.add_client(client)
+    for j in range(4):
+        sock = client.connect(SERVER, 5001, config=TcpConfig(mss=1448))
+        sock.conn.attach_source(InfiniteSource(materialize=False, seed=j))
+    sim.run(until=0.05)
+    snap = machine.merged_profile()
+    assert sum(snap.cycles.values()) == pytest.approx(machine.total_busy_cycles(), rel=1e-9)
+
+
+def test_sanitizer_audits_mq_rig():
+    from repro.analysis.sanitizer import install, uninstall
+
+    handle = install()
+    try:
+        r = run_mq_stream_experiment(linux_smp_config(), OptimizationConfig.optimized(),
+                                     queues=4, steering="arfs",
+                                     n_connections=16, duration=0.02, warmup=0.01)
+        assert r.throughput_mbps > 0
+        sanitizer = handle.sanitizers[-1]
+        assert sanitizer.stats.deep_audits > 0
+    finally:
+        uninstall(handle)
+
+
+def test_sanitizer_catches_flow_requeued_without_resteer():
+    """Reprogramming the indirection table under a static-RSS policy moves
+    live flows without a generation bump — the same-flow-same-queue audit
+    must fail the run."""
+    from repro.analysis.sanitizer import InvariantViolation, install, uninstall
+
+    handle = install()
+    try:
+        sim = Simulator()
+        machine = MqReceiverMachine(sim, fast_config(n_nics=1),
+                                    OptimizationConfig.baseline(), queues=2, ip=SERVER)
+        machine.listen(5001)
+        client = ClientHost(sim, ip_from_str("10.0.1.1"))
+        machine.add_client(client)
+        for j in range(4):
+            sock = client.connect(SERVER, 5001, config=TcpConfig(mss=1448))
+            sock.conn.attach_source(InfiniteSource(materialize=False, seed=j))
+        sim.run(until=0.02)
+        table = machine.steering.table
+        for slot in range(len(table.slots)):
+            table.program(slot, 1 - table.slots[slot])  # swap every queue
+        with pytest.raises(InvariantViolation, match="same-flow-same-queue"):
+            sim.run(until=0.04)
+    finally:
+        uninstall(handle)

@@ -201,15 +201,20 @@ class TestStructuralAudits:
         class FakeNicStats:
             rx_frames = 0
 
-        class FakeNic:
-            name = "fake-eth0"
+        class FakeQueue:
+            index = 0
             ring = RxRing(capacity=4)
             lro = None
+
+        class FakeNic:
+            name = "fake-eth0"
+            n_queues = 1
+            queues = [FakeQueue()]
             stats = FakeNicStats()
 
         machine.nics.append(FakeNic())
         fire(sim, 4)  # clean audit first
-        FakeNic.ring.drained += 1  # a packet "drained" that was never posted
+        FakeQueue.ring.drained += 1  # a packet "drained" that was never posted
         with pytest.raises(InvariantViolation, match="ring packet conservation"):
             fire(sim, 4)
 
