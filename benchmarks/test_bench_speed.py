@@ -10,9 +10,14 @@ trajectory that future fast-path PRs compare against.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
-from repro.analysis.speed import format_speed_report, measure_figure07_speed
+from repro.analysis.speed import (
+    format_speed_report,
+    measure_figure07_speed,
+    measure_obs_overhead,
+)
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -36,3 +41,45 @@ def test_simulator_speed(benchmark):
     # engine's semantics changed, not just its speed.
     assert report["events_fired"] > 0
     assert report["network_packets"] > 0
+
+
+def test_obs_overhead(benchmark):
+    """The observability layer must cost ~nothing when off, and never
+    change behaviour when on.
+
+    The deterministic asserts always run.  The wall-clock regression gate
+    (disabled-path events/sec within 2% of the BENCH_speed.json trajectory
+    point) only runs under ``REPRO_BENCH_STRICT=1`` — wall time on shared
+    CI runners is too noisy to fail PRs on by default.
+    """
+    report = benchmark.pedantic(
+        measure_obs_overhead, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    off, on = report["off"], report["on"]
+    benchmark.extra_info["overhead_ratio"] = round(report["overhead_ratio"], 3)
+    benchmark.extra_info["trace_events"] = report["trace_events"]
+    print()
+    print(
+        f"obs overhead: off {off['wall_s']:.2f}s / on {on['wall_s']:.2f}s "
+        f"(x{report['overhead_ratio']:.2f}), {report['trace_events']:,} spans"
+    )
+
+    # Deterministic: instrumentation observes the run, it never steers it.
+    # Every measured quantity except the sampler's own scheduler events is
+    # bit-identical with tracing+metrics+sampling on.
+    assert report["behavior_neutral"], (off, on)
+    assert report["trace_events"] > 0
+
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        bench_path = _REPO_ROOT / "BENCH_speed.json"
+        baseline = json.loads(bench_path.read_text())
+        point = next(
+            p for p in baseline["points"]
+            if p["system"] == off["system"] and p["optimized"] == off["optimized"]
+        )
+        baseline_eps = point["events_fired"] / point["wall_s"]
+        measured_eps = off["events_fired"] / off["wall_s"]
+        assert measured_eps >= 0.98 * baseline_eps, (
+            f"obs-off path regressed: {measured_eps:,.0f} events/s vs "
+            f"baseline {baseline_eps:,.0f} (allowed -2%)"
+        )

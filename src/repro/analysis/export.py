@@ -36,6 +36,32 @@ def queue_stats_to_csv(nics, fh: Optional[TextIO] = None) -> str:
     return ""
 
 
+def breakdown_to_json(result: "ExperimentResult") -> dict:
+    """Per-category cycle breakdown of one experiment as a JSON document.
+
+    Breakdown figures (rows keyed by ``category``) are transposed into
+    ``{"breakdown": {label: {category: cycles_per_packet}}}`` keyed by the
+    same :class:`~repro.cpu.categories.Category` names the profiler and the
+    figure tables use, so traces, metrics, and breakdowns join on one key
+    space.  Non-breakdown experiments export their rows unchanged.
+    """
+    doc: dict = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "paper_reference": result.paper_reference,
+    }
+    if "category" in result.columns:
+        labels = [col for col in result.columns if col != "category"]
+        doc["breakdown"] = {
+            label: {row["category"]: row.get(label, 0.0) for row in result.rows}
+            for label in labels
+        }
+    else:
+        doc["columns"] = list(result.columns)
+        doc["rows"] = [dict(row) for row in result.rows]
+    return doc
+
+
 def results_to_csv_files(results: "Iterable[ExperimentResult]", directory: str) -> list:
     """Write one ``<experiment_id>.csv`` per result; returns the paths."""
     import os

@@ -7,6 +7,7 @@ from typing import Dict, Tuple
 from repro.analysis.simlint.core import Rule
 from repro.analysis.simlint.rules import (
     determinism,
+    io,
     numerics,
     packets,
     parallelism,
@@ -19,6 +20,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     *packets.RULES,
     *numerics.RULES,
     *parallelism.RULES,
+    *io.RULES,
 )
 
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}

@@ -1,0 +1,81 @@
+"""I/O hygiene rule: no print/logging inside simulation hot-path modules.
+
+The per-packet code (NIC, driver, kernel, TCP, aggregation) runs millions of
+times per experiment.  A stray ``print`` there floods the console, costs more
+wall time than the work it describes, and — worse — tempts people to make it
+conditional on ad-hoc globals instead of the observability layer.  All
+diagnostics belong in :mod:`repro.obs` (trace spans, counters, sampled
+series), and all presentation belongs in the CLI/analysis layer.
+
+Exempt: ``repro.obs`` and ``repro.analysis`` themselves (they *are* the
+output layer), and the CLI / report front-ends whose job is printing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.simlint.core import ModuleContext, Rule, Violation
+
+
+class HotPathIoRule(Rule):
+    id = "hot-path-io"
+    summary = (
+        "no print()/logging in simulation modules — emit trace spans or "
+        "metrics via repro.obs; printing belongs in cli/analysis"
+    )
+
+    #: Presentation front-ends: printing is their purpose.
+    _EXEMPT_FILES = ("repro/cli.py", "repro/experiments/report.py")
+    #: Output layers: repro.obs renders dashboards, repro.analysis reports.
+    _EXEMPT_DIRS = ("/obs/", "/analysis/")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module_is(*self._EXEMPT_FILES) or ctx.module_in(*self._EXEMPT_DIRS):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "`print(...)` in simulation code — record a trace event or "
+                    "metric via repro.obs instead (or move the rendering to "
+                    "cli/analysis); mark intentional console output with "
+                    "`# simlint: allow(hot-path-io)`",
+                )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "logging" or alias.name.startswith("logging."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "`import logging` in simulation code — the logging "
+                            "module is wall-clock-stamped and unbuffered; use "
+                            "repro.obs tracing instead",
+                        )
+            elif isinstance(node, ast.ImportFrom) and node.module == "logging":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "`from logging import ...` in simulation code — use "
+                    "repro.obs tracing instead",
+                )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "logging"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`logging.{node.attr}` in simulation code — use "
+                    "repro.obs tracing instead",
+                )
+
+
+RULES: Iterable[Rule] = (HotPathIoRule(),)

@@ -111,6 +111,49 @@ def measure_figure07_speed(quick: bool = True) -> Dict[str, object]:
     }
 
 
+def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
+    """Measure what :mod:`repro.obs` costs — off (should be ~free) and on.
+
+    Runs the UP optimized streaming point three ways: obs never imported
+    into the hot path beyond the disabled-by-default guards (``off``),
+    then with full tracing + metrics + sampling enabled (``on``).  Reports
+    wall seconds for each plus a behaviour-neutrality verdict: every
+    measured field except ``events_fired``/``series`` (the sampler adds
+    scheduler events) must be bit-identical.  The CI speed harness asserts
+    the ``off`` path stays within the BENCH_speed envelope; ``on`` is
+    informational — tracing is allowed to cost wall time, never behaviour.
+    """
+    from repro import obs
+
+    duration, warmup = window(quick)
+    config = linux_up_config()
+    opt = OptimizationConfig.optimized()
+
+    obs.reset()
+    off = measure_stream_speed(config, opt, duration=duration, warmup=warmup)
+
+    obs.configure(trace=True, metrics=True, sample_interval=0.005)
+    try:
+        on = measure_stream_speed(config, opt, duration=duration, warmup=warmup)
+        observations = obs.drain_completed()
+    finally:
+        obs.reset()
+
+    neutral_keys = [k for k in off if k not in ("wall_s", "events_fired")]
+    spans = sum(
+        len(o.tracer) for o in observations if o.tracer is not None
+    )
+    return {
+        "probe": "obs-overhead",
+        "quick": quick,
+        "off": off,
+        "on": on,
+        "overhead_ratio": on["wall_s"] / off["wall_s"] if off["wall_s"] > 0 else 0.0,
+        "trace_events": spans,
+        "behavior_neutral": all(off[k] == on[k] for k in neutral_keys),
+    }
+
+
 def format_speed_report(report: Dict[str, object]) -> str:
     """Human-readable one-screen rendering of a speed report."""
     lines = [

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro list
     python -m repro run figure7 [--quick] [--sanitize] [--csv out.csv] [--jobs N]
+    python -m repro run figure7 --quick --trace trace.json --metrics-out m.json \
+        --sample-interval 0.005 --profile-out profile.json
     python -m repro run extension_rss_scaling [--queues 1 2 4 8] [--jobs N]
     python -m repro all [--quick] [--csv-dir results/] [--jobs N]
     python -m repro report [--quick] [EXPERIMENTS.md]
@@ -13,18 +15,76 @@ invariant checker (:mod:`repro.analysis.sanitizer`) for the whole run,
 including sweep worker processes.  Expect a slowdown; any protocol or
 conservation violation aborts with a precise error instead of a wrong
 number.
+
+Observability flags (on ``run``/``all``; see :mod:`repro.obs`):
+``--trace PATH`` writes a merged Chrome trace-event JSON (open at
+ui.perfetto.dev); ``--metrics-out PATH`` writes every run's metrics
+registry; ``--sample-interval SEC`` samples throughput/cwnd/queue-depth
+series in sim time and prints a text dashboard; ``--profile-out PATH``
+writes the per-category cycle breakdown.  All are collected in-process:
+sweep points dispatched to ``--jobs`` workers are not traced.  Measured
+rows are bit-identical with or without these flags.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List
 
-from repro.analysis.export import result_to_csv, results_to_csv_files
+from repro.analysis.export import breakdown_to_json, result_to_csv, results_to_csv_files
 from repro.analysis.validation import validate
 from repro.experiments.runner import REGISTRY, run_all, run_experiment
+
+
+def _obs_requested(args) -> bool:
+    return bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "sample_interval", None)
+    )
+
+
+def _obs_setup(args) -> None:
+    """Turn CLI observability flags into the process-global obs config."""
+    if not _obs_requested(args):
+        return
+    from repro import obs
+
+    obs.configure(
+        trace=bool(args.trace),
+        metrics=bool(args.metrics_out),
+        sample_interval=args.sample_interval,
+    )
+
+
+def _obs_export(args) -> None:
+    """Write/print everything the finished runs collected."""
+    if not _obs_requested(args):
+        return
+    from repro import obs
+
+    done = obs.drain_completed()
+    if args.trace:
+        doc = obs.completed_chrome_trace(done)
+        with open(args.trace, "w") as fh:
+            json.dump(doc, fh)
+        spans = sum(len(o.tracer) for o in done if o.tracer is not None)
+        print(f"wrote {args.trace} ({spans} events, {len(done)} runs; "
+              "open at ui.perfetto.dev)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            json.dump({"runs": [o.to_json() for o in done]}, fh, indent=1)
+        print(f"wrote {args.metrics_out} ({len(done)} runs)")
+    if args.sample_interval:
+        for o in done:
+            if o.sampler is not None and o.sampler.samples_taken:
+                print()
+                print(f"== {o.label} ==")
+                print(o.sampler.render_dashboard())
+    obs.reset()
 
 
 def _cmd_list(_args) -> int:
@@ -49,6 +109,7 @@ def _print_result(result, csv_path=None) -> None:
 
 
 def _cmd_run(args) -> int:
+    _obs_setup(args)
     try:
         result = run_experiment(
             args.experiment, quick=args.quick, jobs=args.jobs, queues=args.queues
@@ -57,10 +118,16 @@ def _cmd_run(args) -> int:
         print(exc, file=sys.stderr)
         return 2
     _print_result(result, args.csv)
+    if args.profile_out:
+        with open(args.profile_out, "w") as fh:
+            json.dump(breakdown_to_json(result), fh, indent=1)
+        print(f"wrote {args.profile_out}")
+    _obs_export(args)
     return 0
 
 
 def _cmd_all(args) -> int:
+    _obs_setup(args)
     results = run_all(quick=args.quick, jobs=args.jobs)
     for result in results:
         _print_result(result)
@@ -68,6 +135,7 @@ def _cmd_all(args) -> int:
     if args.csv_dir:
         paths = results_to_csv_files(results, args.csv_dir)
         print(f"wrote {len(paths)} CSV files to {args.csv_dir}")
+    _obs_export(args)
     return 0
 
 
@@ -95,6 +163,24 @@ def build_parser() -> argparse.ArgumentParser:
         "for this run, including sweep workers"
     )
 
+    def add_obs_flags(sub_parser) -> None:
+        sub_parser.add_argument(
+            "--trace", metavar="PATH",
+            help="record packet-lifecycle spans and write a Chrome "
+            "trace-event JSON (view at ui.perfetto.dev); in-process runs "
+            "only — sweep points sent to --jobs workers are not traced",
+        )
+        sub_parser.add_argument(
+            "--metrics-out", metavar="PATH",
+            help="register every subsystem's counters/gauges/histograms "
+            "and write one JSON document per run",
+        )
+        sub_parser.add_argument(
+            "--sample-interval", type=float, default=None, metavar="SEC",
+            help="sample throughput/cwnd/queue-depth series every SEC "
+            "simulated seconds and print a text dashboard",
+        )
+
     p_run = sub.add_parser("run", help="run one experiment")
     p_run.add_argument("experiment", choices=sorted(REGISTRY))
     p_run.add_argument("--quick", action="store_true", help="short measurement windows")
@@ -110,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="receive-queue counts to sweep (experiments with a queues "
         "parameter, e.g. extension_rss_scaling; others ignore it)",
     )
+    p_run.add_argument(
+        "--profile-out", metavar="PATH",
+        help="write the per-category cycle breakdown as JSON, keyed by "
+        "the same Category names the figure tables use",
+    )
+    add_obs_flags(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_all = sub.add_parser("all", help="run every experiment")
@@ -117,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--sanitize", action="store_true", help=sanitize_help)
     p_all.add_argument("--csv-dir", metavar="DIR")
     p_all.add_argument("--jobs", type=int, default=None, metavar="N")
+    add_obs_flags(p_all)
     p_all.set_defaults(fn=_cmd_all)
 
     p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")

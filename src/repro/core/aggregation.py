@@ -39,6 +39,8 @@ from repro.cpu.costmodel import CostModel
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.tcp_header import TcpFlags
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage, cpu_tid
 
 #: Raw ACK|PSH bits — the only flags an aggregatable segment may carry (§3.1).
 _ACK_PSH_MASK = int(TcpFlags.ACK | TcpFlags.PSH)
@@ -151,6 +153,7 @@ class AggregationEngine:
         self.deliver = deliver
         self.name = name
         self.stats = AggregationStats()
+        self._tr = active_tracer()
         #: The per-CPU lock-free producer/consumer queue (§3.5).  Raw
         #: packets only — no sk_buff has been allocated for them yet.
         self.queue: Deque[Packet] = deque()
@@ -253,6 +256,14 @@ class AggregationEngine:
                 count = partial.count + 1
                 partial.count = count
                 self.stats.fragments_chained += 1
+                tr = self._tr
+                if tr is not None:
+                    tr.event(
+                        Stage.AGGR_MERGE,
+                        self.cpu.now_done,
+                        tid=cpu_tid(self.cpu),
+                        args={"seq": tcp.seq, "frags": count},
+                    )
                 table.move_to_end(key)
                 if count >= limit:
                     self.stats.flush_limit += 1
@@ -301,6 +312,14 @@ class AggregationEngine:
             self.cpu.consume(self.costs.aggr_deliver_single, Category.AGGR)
         skb.csum_verified = True
         self.stats.aggregates_delivered += 1
+        tr = self._tr
+        if tr is not None:
+            tr.event(
+                Stage.AGGR_DELIVER,
+                self.cpu.now_done,
+                tid=cpu_tid(self.cpu),
+                args={"frags": partial.count, "len": skb.payload_len},
+            )
         self.deliver(skb)
 
     # ------------------------------------------------------------------

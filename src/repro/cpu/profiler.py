@@ -75,6 +75,17 @@ class ProfileSnapshot:
         n = max(self.network_packets, 1)
         return sum(self.cycles.get(c, 0.0) for c in categories) / n
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form, keyed by the same ``Category`` names the figure
+        tables use (so traces, metrics, and breakdowns join cleanly)."""
+        return {
+            "cycles": dict(self.cycles),
+            "network_packets": self.network_packets,
+            "host_packets": self.host_packets,
+            "acks_sent": self.acks_sent,
+            "time": self.time,
+        }
+
 
 class Profiler:
     """Accumulates cycles per category plus packet counters."""

@@ -28,6 +28,8 @@ from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
 from repro.net.packet import Packet
 from repro.nic.nic import Nic
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage, cpu_tid
 
 
 @dataclass
@@ -69,6 +71,7 @@ class E1000Driver:
         self.mss = mss
         self.name = name
         self.stats = DriverStats()
+        self._tr = active_tracer()
         nic.bind_driver(self, queue_index)
 
     # ------------------------------------------------------------------
@@ -82,6 +85,9 @@ class E1000Driver:
         costs = self.cpu.costs
         consume = self.cpu.consume
         self.stats.isr_runs += 1
+        tr = self._tr
+        if tr is not None:
+            isr_start = max(self.cpu.busy_until, self.cpu.sim.now)
         consume(costs.driver_irq, Category.DRIVER)
         pkts = self.queue.ring.drain()
         self.queue.last_drain_count = len(pkts)
@@ -114,6 +120,16 @@ class E1000Driver:
                 consume(costs.skb_alloc, Category.BUFFER)
                 skbs.append(skb)
             self.kernel.softirq_baseline(skbs)
+        if tr is not None:
+            # The span covers the whole ISR task, softirq included; the
+            # softirq emits its own nested span on the same thread.
+            tr.event(
+                Stage.DRIVER_ISR,
+                isr_start,
+                max(0.0, self.cpu.busy_until - isr_start),
+                tid=cpu_tid(self.cpu),
+                args={"pkts": len(pkts)},
+            )
         # Packets that arrived while we were processing get a fresh
         # (moderated) interrupt.
         self.queue.poll()
@@ -156,6 +172,14 @@ class E1000Driver:
         consume(costs.driver_tx_per_packet, Category.DRIVER)
         self.stats.tx_templates += 1
         packets = expand_template(skb)
+        tr = self._tr
+        if tr is not None:
+            tr.event(
+                Stage.ACK_EXPAND,
+                max(self.cpu.busy_until, self.cpu.sim.now),
+                tid=cpu_tid(self.cpu),
+                args={"acks": len(packets)},
+            )
         for pkt in packets:
             consume(costs.ack_expand_per_ack, Category.DRIVER)
             self.stats.tx_expanded_acks += 1

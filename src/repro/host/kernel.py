@@ -24,6 +24,8 @@ from repro.cpu.cpu import Cpu
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage, cpu_tid
 from repro.sim.engine import Simulator
 from repro.tcp.connection import AckEvent, TcpConfig, TcpConnection
 
@@ -148,6 +150,8 @@ class Kernel:
         self._dirty_sockets: List[KernelSocket] = []
 
         self.aggregator = None  # set by the machine when aggregation is on
+        #: Lifecycle tracer captured at construction (None = tracing off).
+        self._tr = active_tracer()
         #: Extra keyword overrides applied to every accepted connection's
         #: TcpConfig (e.g. a larger rcv_buf for long-fat-pipe experiments).
         self.tcp_overrides: Dict[str, object] = {}
@@ -183,16 +187,39 @@ class Kernel:
     # ------------------------------------------------------------------
     def softirq_baseline(self, skbs: List[SkBuff]) -> None:
         """Baseline path: one sk_buff per network packet."""
+        tr = self._tr
+        if tr is not None:
+            t0 = max(self.cpu.busy_until, self.sim.now)
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         for skb in skbs:
             self.deliver_host_skb(skb)
         self.app_drain()
+        if tr is not None:
+            tr.event(
+                Stage.SOFTIRQ,
+                t0,
+                max(0.0, self.cpu.busy_until - t0),
+                tid=cpu_tid(self.cpu),
+                args={"skbs": len(skbs)},
+            )
 
     def softirq_aggregated(self) -> None:
         """Optimized path: run the aggregation engine over its queue."""
+        tr = self._tr
+        if tr is not None:
+            t0 = max(self.cpu.busy_until, self.sim.now)
+            n_in = len(self.aggregator.queue)
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         self.aggregator.run()
         self.app_drain()
+        if tr is not None:
+            tr.event(
+                Stage.AGGR_RUN,
+                t0,
+                max(0.0, self.cpu.busy_until - t0),
+                tid=cpu_tid(self.cpu),
+                args={"pkts": n_in},
+            )
 
     # ------------------------------------------------------------------
     # host-packet delivery (the network stack proper)
@@ -202,6 +229,9 @@ class Kernel:
         costs = self.cpu.costs
         consume = self.cpu.consume
         pkt = skb.head
+        tr = self._tr
+        if tr is not None:
+            t0 = max(self.cpu.busy_until, self.sim.now)
 
         if not skb.csum_verified and pkt.payload_len > 0:
             # No hardware checksum: the stack verifies in software (per-byte).
@@ -220,6 +250,14 @@ class Kernel:
         if conn is None:
             skb.free()
             consume(costs.skb_free, Category.BUFFER)
+            if tr is not None:
+                tr.event(
+                    Stage.TCP_RX,
+                    t0,
+                    max(0.0, self.cpu.busy_until - t0),
+                    tid=cpu_tid(self.cpu),
+                    args={"seq": pkt.tcp.seq, "segs": nr_segments, "drop": 1},
+                )
             return
 
         if nr_segments > 1:
@@ -248,6 +286,16 @@ class Kernel:
         consume(costs.skb_free, Category.BUFFER)
         if skb.nr_frags:
             consume(costs.frag_buffer_release * skb.nr_frags, Category.BUFFER)
+        if tr is not None:
+            tr.event(
+                Stage.TCP_RX,
+                t0,
+                max(0.0, self.cpu.busy_until - t0),
+                tid=cpu_tid(self.cpu),
+                args={"seq": pkt.tcp.seq, "segs": nr_segments, "len": skb.payload_len},
+            )
+            # End-to-end pipeline latency: NIC arrival to TCP processing.
+            tr.latency("latency.nic_to_tcp", max(0.0, t0 - pkt.rx_time))
 
     def _demux(self, pkt: Packet) -> Tuple[Optional[TcpConnection], Optional[KernelSocket]]:
         key = FlowKey(pkt.ip.dst_ip, pkt.tcp.dst_port, pkt.ip.src_ip, pkt.tcp.src_port)
@@ -289,11 +337,14 @@ class Kernel:
         costs = self.cpu.costs
         consume = self.cpu.consume
         consume(costs.wakeup, Category.MISC)
+        tr = self._tr
         dirty, self._dirty_sockets = self._dirty_sockets, []
         for sock in dirty:
             nbytes = sock.pending_bytes
             if nbytes <= 0:
                 continue
+            if tr is not None:
+                t0 = max(self.cpu.busy_until, self.sim.now)
             syscalls = max(1, math.ceil(nbytes / RECV_CHUNK))
             consume(costs.syscall * syscalls, Category.MISC)
             for item_bytes, extra_frags in sock.pending_items:
@@ -306,6 +357,14 @@ class Kernel:
             sock.pending_bytes = 0
             sock.bytes_received += nbytes
             sock.conn.mark_read(nbytes)
+            if tr is not None:
+                tr.event(
+                    Stage.SOCK_READ,
+                    t0,
+                    max(0.0, self.cpu.busy_until - t0),
+                    tid=cpu_tid(self.cpu),
+                    args={"bytes": nbytes},
+                )
             if sock.on_data_cb is not None:
                 for payload, length in pending:
                     sock.on_data_cb(sock, payload, length)
@@ -340,6 +399,7 @@ class Kernel:
         costs = self.cpu.costs
         consume = self.cpu.consume
         driver = self._driver_for(conn)
+        tr = self._tr
         if self.opt.ack_offload and len(event.acks) > 1:
             # One template ACK through the stack, expanded at the driver.
             consume(costs.tcp_tx_ack, Category.TX)
@@ -348,6 +408,13 @@ class Kernel:
             skb = build_template_ack_skb(conn, event, self.pool, now=self.sim.now)
             consume(costs.skb_alloc, Category.BUFFER)
             consume(costs.non_proto_tx, Category.NON_PROTO)
+            if tr is not None:
+                tr.event(
+                    Stage.ACK_TEMPLATE,
+                    max(self.cpu.busy_until, self.sim.now),
+                    tid=cpu_tid(self.cpu),
+                    args={"acks": len(event.acks)},
+                )
             driver.tx_template(skb)
             return
         for ack in event.acks:
@@ -356,5 +423,12 @@ class Kernel:
             consume(costs.skb_alloc, Category.BUFFER)
             consume(costs.non_proto_tx, Category.NON_PROTO)
             pkt = conn.build_ack_packet(ack, event)
+            if tr is not None:
+                tr.event(
+                    Stage.ACK_TX,
+                    max(self.cpu.busy_until, self.sim.now),
+                    tid=cpu_tid(self.cpu),
+                    args={"ack": pkt.tcp.ack},
+                )
             driver.tx(pkt, pure_ack=True)
             consume(costs.skb_free, Category.BUFFER)

@@ -40,6 +40,7 @@ from repro.mq.costs import CrossCpuCostModel
 from repro.mq.steering import SteeringPolicy
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
+from repro.obs.trace import Stage, cpu_tid
 from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConnection
 
@@ -168,9 +169,21 @@ class MqKernel(Kernel):
     # ------------------------------------------------------------------
     def run_aggregator(self, aggregator) -> None:
         """Optimized softirq body for one queue's aggregation engine."""
+        tr = self._tr
+        if tr is not None:
+            t0 = max(self.cpu.busy_until, self.sim.now)
+            n_in = len(aggregator.queue)
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         aggregator.run()
         self.app_drain()
+        if tr is not None:
+            tr.event(
+                Stage.AGGR_RUN,
+                t0,
+                max(0.0, self.cpu.busy_until - t0),
+                tid=cpu_tid(self.cpu),
+                args={"pkts": n_in},
+            )
 
     # ------------------------------------------------------------------
     # demux: socket pinning + cross-CPU state bouncing
@@ -193,6 +206,14 @@ class MqKernel(Kernel):
             # CPU: pull it across caches (§2.3's contention, priced per
             # line instead of as a blanket factor).
             self.cpu.consume(self.cross.bounce_cycles(), Category.XCPU)
+            tr = self._tr
+            if tr is not None:
+                tr.event(
+                    Stage.XCPU_BOUNCE,
+                    max(self.cpu.busy_until, self.sim.now),
+                    tid=cpu_tid(self.cpu),
+                    args={"app_cpu": sock.app_cpu_index},
+                )
         return conn, sock
 
     # ------------------------------------------------------------------
@@ -203,6 +224,7 @@ class MqKernel(Kernel):
             return
         softirq_idx = self._current_idx
         self.cpu.consume(self.cpu.costs.wakeup, Category.MISC)
+        tr = self._tr
         dirty, self._dirty_sockets = self._dirty_sockets, []
         try:
             for sock in dirty:
@@ -216,8 +238,17 @@ class MqKernel(Kernel):
                     self.cpus[softirq_idx].consume(self.cross.ipi_cycles, Category.XCPU)
                     self._current_idx = app_idx
                     self.cpu.consume(self.cross.remote_wakeup_cycles, Category.XCPU)
+                    if tr is not None:
+                        tr.event(
+                            Stage.XCPU_WAKEUP,
+                            max(self.cpu.busy_until, self.sim.now),
+                            tid=app_idx,
+                            args={"from_cpu": softirq_idx},
+                        )
                 else:
                     self._current_idx = app_idx
+                if tr is not None:
+                    t0 = max(self.cpu.busy_until, self.sim.now)
                 costs = self.cpu.costs
                 consume = self.cpu.consume
                 syscalls = max(1, math.ceil(nbytes / RECV_CHUNK))
@@ -235,6 +266,14 @@ class MqKernel(Kernel):
                 # mark_read may emit a window update: it is sent from the
                 # application's CPU (Linux: from the syscall context).
                 sock.conn.mark_read(nbytes)
+                if tr is not None:
+                    tr.event(
+                        Stage.SOCK_READ,
+                        t0,
+                        max(0.0, self.cpu.busy_until - t0),
+                        tid=app_idx,
+                        args={"bytes": nbytes},
+                    )
                 if sock.on_data_cb is not None:
                     for payload, length in pending:
                         sock.on_data_cb(sock, payload, length)

@@ -17,11 +17,12 @@ from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.mq.machine import MqReceiverMachine
 from repro.mq.steering import SteeringPolicy
 from repro.net.addresses import ip_from_str
+from repro.obs import runtime as obs_runtime
 from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConfig
 from repro.tcp.source import InfiniteSource
 from repro.workloads.results import ThroughputResult
-from repro.workloads.stream import SERVER_PORT
+from repro.workloads.stream import SERVER_PORT, bind_observation
 
 
 def build_mq_stream_rig(
@@ -72,9 +73,32 @@ def run_mq_stream_experiment(
     warmup: float = 0.15,
 ) -> ThroughputResult:
     """Run the multi-queue streaming benchmark over [warmup, warmup+duration]."""
+    label = f"{config.name}/mq{queues}"
+    with obs_runtime.observe(label) as obs:
+        result = _run_mq_observed(
+            config, opt, queues, steering, n_connections, duration, warmup, obs
+        )
+        if obs is not None:
+            obs.meta.update(system=result.system, optimized=result.optimized)
+            if obs.sampler is not None:
+                result.series = obs.sampler.to_json()
+    return result
+
+
+def _run_mq_observed(
+    config: SystemConfig,
+    opt: OptimizationConfig,
+    queues: int,
+    steering,
+    n_connections: Optional[int],
+    duration: float,
+    warmup: float,
+    obs,
+) -> ThroughputResult:
     sim, machine, clients, senders = build_mq_stream_rig(
         config, opt, queues, steering, n_connections
     )
+    bind_observation(obs, sim, machine, senders, horizon=warmup + duration)
 
     sim.run(until=warmup)
     profile0 = _merged_snapshot(machine, sim.now)

@@ -28,6 +28,8 @@ from typing import Dict, List, Optional
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.tcp_header import TcpFlags
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage
 from repro.tcp.seqmath import seq_ge
 
 
@@ -61,6 +63,7 @@ class LroEngine:
         self.table: Dict[FlowKey, _LroSession] = {}
         self.merged_segments = 0
         self.flushes = 0
+        self._tr = active_tracer()
 
     # ------------------------------------------------------------------
     def _mergeable(self, pkt: Packet) -> bool:
@@ -130,6 +133,10 @@ class LroEngine:
         session.last_ack = pkt.tcp.ack
         session.segs += 1
         self.merged_segments += 1
+        tr = self._tr
+        if tr is not None:
+            # The absorbed segment's own arrival time stamps the merge.
+            tr.event(Stage.LRO_MERGE, pkt.rx_time, args={"segs": session.segs})
 
     def _close(self, session: _LroSession) -> Packet:
         pkt = session.packet
@@ -137,4 +144,7 @@ class LroEngine:
             pkt.set_joined_payload(b"".join(session.payloads))
         pkt.refresh_lengths()
         pkt.lro_segs = session.segs
+        tr = self._tr
+        if tr is not None:
+            tr.event(Stage.LRO_CLOSE, pkt.rx_time, args={"segs": session.segs})
         return pkt

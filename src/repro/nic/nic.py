@@ -26,6 +26,8 @@ from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.nic.lro import LroEngine
 from repro.nic.queue import RxQueue
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
 
@@ -66,6 +68,9 @@ class Nic:
         self.stats = NicStats()
         self.n_queues = n_queues
         self.steering = steering
+        #: Lifecycle tracer captured at construction (None when tracing is
+        #: off — the hot path pays one attribute load and a None check).
+        self._tr = active_tracer()
 
         #: Adaptive interrupt moderation (e1000 AIM): low arrival rates
         #: (latency-sensitive traffic) get immediate interrupts; bulk
@@ -140,6 +145,13 @@ class Nic:
             index = steering.select(key)
             queue = self.queues[index]
             self.flow_queue_observed[key] = (index, steering.generation(key))
+        tr = self._tr
+        if tr is not None:
+            tr.event(
+                Stage.NIC_RX,
+                now,
+                args={"seq": pkt.tcp.seq, "len": pkt.wire_len, "q": queue.index},
+            )
         queue.accept_frame(pkt, now)
 
     def poll_ring(self) -> None:

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.net.packet import Packet
 from repro.nic.lro import LroEngine
 from repro.nic.ring import RxRing
+from repro.obs.trace import Stage
 
 
 class RxQueue:
@@ -75,15 +76,25 @@ class RxQueue:
             # checksum; the simulation trusts its own senders.
             pkt.csum_verified = True
             stats.rx_csum_offloaded += 1
+        tr = nic._tr
         if self.lro is not None:
             for out in self.lro.accept(pkt):
-                if not self.ring.post(out):
+                if self.ring.post(out):
+                    if tr is not None:
+                        tr.event(Stage.RING_POST, now, args={"q": self.index, "segs": out.lro_segs})
+                else:
                     stats.rx_dropped_ring_full += 1
+                    if tr is not None:
+                        tr.event(Stage.RING_DROP, now, args={"q": self.index, "segs": out.lro_segs})
             self.maybe_raise_interrupt()
         elif self.ring.post(pkt):
+            if tr is not None:
+                tr.event(Stage.RING_POST, now, args={"q": self.index})
             self.maybe_raise_interrupt()
         else:
             stats.rx_dropped_ring_full += 1
+            if tr is not None:
+                tr.event(Stage.RING_DROP, now, args={"q": self.index})
 
     def maybe_raise_interrupt(self) -> None:
         """Raise this queue's interrupt, subject to (adaptive) ITR moderation."""
@@ -110,9 +121,16 @@ class RxQueue:
         nic.stats.interrupts += 1
         if self.lro is not None:
             # Hardware closes its merge sessions when it asserts the interrupt.
+            tr = nic._tr
+            now = nic.sim.now
             for out in self.lro.flush():
-                if not self.ring.post(out):
+                if self.ring.post(out):
+                    if tr is not None:
+                        tr.event(Stage.RING_POST, now, args={"q": self.index, "segs": out.lro_segs})
+                else:
                     nic.stats.rx_dropped_ring_full += 1
+                    if tr is not None:
+                        tr.event(Stage.RING_DROP, now, args={"q": self.index, "segs": out.lro_segs})
         if self.driver is not None:
             self.driver.on_interrupt(nic)
 

@@ -1,0 +1,79 @@
+"""Observability subsystem: lifecycle tracing, metrics registry, sampling.
+
+Three layers, all zero-overhead when disabled:
+
+* :mod:`repro.obs.trace` — per-packet lifecycle span events in a bounded
+  ring, exported as Chrome trace-event JSON (open in Perfetto).
+* :mod:`repro.obs.metrics` — one enumerable registry of counters, gauges,
+  and log2 histograms across NIC rings, LRO, aggregation, steering, and TCP.
+* :mod:`repro.obs.sampler` — sim-time periodic sampling of throughput,
+  cwnd, and queue depths into exportable time series.
+
+Lifecycle: :func:`configure` (process-global, like the sanitizer), then each
+run opens :func:`observe`; components capture :func:`active_tracer` /
+:func:`active_metrics` at construction.  See DESIGN.md §8.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRegistry,
+    bind_connections,
+    bind_machine,
+)
+from repro.obs.runtime import (
+    ObsConfig,
+    Observation,
+    active,
+    active_metrics,
+    active_tracer,
+    completed_chrome_trace,
+    config,
+    configure,
+    drain_completed,
+    observe,
+    reset,
+)
+from repro.obs.sampler import (
+    DEFAULT_SAMPLE_INTERVAL,
+    Series,
+    TimeSeriesSampler,
+    bind_standard_probes,
+)
+from repro.obs.trace import (
+    DEFAULT_TRACE_LIMIT,
+    Stage,
+    Tracer,
+    chrome_envelope,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Log2Histogram",
+    "MetricsRegistry",
+    "bind_connections",
+    "bind_machine",
+    "ObsConfig",
+    "Observation",
+    "active",
+    "active_metrics",
+    "active_tracer",
+    "completed_chrome_trace",
+    "config",
+    "configure",
+    "drain_completed",
+    "observe",
+    "reset",
+    "DEFAULT_SAMPLE_INTERVAL",
+    "Series",
+    "TimeSeriesSampler",
+    "bind_standard_probes",
+    "DEFAULT_TRACE_LIMIT",
+    "Stage",
+    "Tracer",
+    "chrome_envelope",
+    "validate_chrome_trace",
+]

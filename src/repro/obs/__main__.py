@@ -1,0 +1,158 @@
+"""Schema checks for exported observability JSON.
+
+Usage::
+
+    python -m repro.obs check trace.json [metrics.json capture.json ...]
+
+Auto-detects the document kind (Chrome trace, metrics dump, observation
+bundle, or packet-capture export), validates its shape, and prints a
+one-line summary per file.  Exit status 0 iff every file validates —
+this is what CI's ``obs-quick`` job runs on the artifacts of a traced run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Tuple
+
+from repro.obs.trace import validate_chrome_trace
+
+_METRIC_KINDS = {"counter", "gauge", "histogram"}
+
+
+def _check_metrics(doc: dict) -> List[str]:
+    problems = []
+    for name, entry in doc.items():
+        if not isinstance(entry, dict) or "kind" not in entry or "value" not in entry:
+            problems.append(f"metric {name!r} is not a {{kind, value}} object")
+        elif entry["kind"] not in _METRIC_KINDS:
+            problems.append(f"metric {name!r} has unknown kind {entry['kind']!r}")
+        if len(problems) >= 20:
+            break
+    return problems
+
+
+def _check_series(series_doc: dict) -> List[str]:
+    """Validate a sampler export: ``{"series": {name: {t, v}}}`` (or just
+    the inner ``{name: {t, v}}`` map)."""
+    problems = []
+    series_map = series_doc.get("series", series_doc)
+    if not isinstance(series_map, dict):
+        return ["series is not an object"]
+    for name, series in series_map.items():
+        if not isinstance(series, dict):
+            problems.append(f"series {name!r} is not an object")
+            continue
+        t, v = series.get("t"), series.get("v")
+        if not isinstance(t, list) or not isinstance(v, list) or len(t) != len(v):
+            problems.append(f"series {name!r}: t/v must be equal-length lists")
+    return problems
+
+
+def _check_capture(doc: dict) -> List[str]:
+    problems = []
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return ["capture export has no records list"]
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict) or "time" not in rec:
+            problems.append(f"records[{i}] is not a timestamped object")
+        if len(problems) >= 20:
+            break
+    return problems
+
+
+def _check_breakdown(doc: dict) -> List[str]:
+    """Validate a ``--profile-out`` document.
+
+    Breakdown experiments export ``{"breakdown": {label: {category: num}}}``;
+    other experiments export their ``{"columns", "rows"}`` unchanged.
+    """
+    problems = []
+    if "breakdown" in doc:
+        breakdown = doc["breakdown"]
+        if not isinstance(breakdown, dict):
+            return ["breakdown is not an object"]
+        for label, cats in breakdown.items():
+            if not isinstance(cats, dict):
+                problems.append(f"breakdown[{label!r}] is not a category map")
+                continue
+            for cat, value in cats.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(f"breakdown[{label!r}][{cat!r}] is not numeric")
+        return problems
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        return ["profile export has neither breakdown nor rows"]
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"rows[{i}] is not an object")
+    return problems
+
+
+def check_document(doc: object) -> Tuple[str, List[str]]:
+    """Classify a parsed JSON document and validate it; returns (kind, problems)."""
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "chrome-trace", validate_chrome_trace(doc)
+    if isinstance(doc, dict) and "records" in doc:
+        return "capture", _check_capture(doc)
+    if isinstance(doc, dict) and "runs" in doc:
+        problems = []
+        if not isinstance(doc["runs"], list):
+            problems.append("runs is not a list")
+        else:
+            for i, run in enumerate(doc["runs"]):
+                kind, sub = check_document(run)
+                problems += [f"runs[{i}] ({kind}): {p}" for p in sub]
+        return "observation-bundle", problems
+    if isinstance(doc, dict) and "experiment" in doc and (
+        "breakdown" in doc or "rows" in doc
+    ):
+        return "profile", _check_breakdown(doc)
+    if isinstance(doc, dict) and ("trace" in doc or "metrics" in doc or "series" in doc):
+        problems = []
+        if "metrics" in doc:
+            problems += _check_metrics(doc["metrics"])
+        if "series" in doc:
+            problems += _check_series(doc["series"])
+        if "trace" in doc and "span_counts" not in doc["trace"]:
+            problems.append("trace summary has no span_counts")
+        return "observation", problems
+    if isinstance(doc, dict) and doc and all(
+        isinstance(v, dict) and "kind" in v for v in doc.values()
+    ):
+        return "metrics", _check_metrics(doc)
+    return "unknown", ["unrecognized observability document"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs")
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_check = sub.add_parser("check", help="validate exported observability JSON")
+    p_check.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.files:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            status = 1
+            continue
+        kind, problems = check_document(doc)
+        if problems:
+            status = 1
+            print(f"{path}: {kind}: {len(problems)} problem(s)")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"{path}: {kind}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

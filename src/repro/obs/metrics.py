@@ -1,0 +1,317 @@
+"""Central metrics registry: counters, gauges, and log2-bucket histograms.
+
+The paper's evidence base is counters — ``ethtool -S`` rings, ``/proc/net/snmp``
+protocol totals, OProfile samples.  This module is the simulation's analogue:
+one enumerable registry that every subsystem (NIC rings, LRO, aggregation,
+steering, TCP connections) registers into, replacing grep-for-the-stat-field
+with a single exportable surface.
+
+Metric kinds
+------------
+* :class:`Counter` — monotonically increasing total, incremented on the hot
+  path (``c.inc()`` is one attribute add).
+* :class:`Gauge` — a point-in-time value.  A gauge may wrap a *callback*
+  (``fn``), in which case reading it pulls the value from the owning object
+  lazily — this is how existing stat fields (``ring.posted``,
+  ``stats.rx_frames``, ``reno.cwnd``) join the registry with zero hot-path
+  cost: nothing is written twice, the registry reads the field at
+  collection/sampling time.
+* :class:`Log2Histogram` — power-of-two bucketed distribution (merge sizes,
+  span latencies in nanoseconds), the classic kernel ``histogram:log2``.
+
+Naming convention (see DESIGN.md §8): dotted lowercase path
+``<subsystem>.<instance>.<field>`` — e.g. ``nic.server-eth0.q0.ring.posted``,
+``aggr.server-aggr.merge_size``, ``tcp.10.0.1.1:33000.cwnd``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def read(self):
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value, either set directly or read via callback."""
+
+    __slots__ = ("name", "value", "fn")
+    kind = "gauge"
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def read(self):
+        if self.fn is not None:
+            return self.fn()
+        return self.value
+
+
+class Log2Histogram:
+    """Power-of-two bucketed histogram of non-negative values.
+
+    Bucket ``i`` holds values ``v`` with ``2**(i-1) <= v < 2**i`` (bucket 0
+    holds zeros), i.e. the bucket index is ``int(v).bit_length()``.
+    """
+
+    __slots__ = ("name", "counts", "total", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.counts: List[int] = []
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        iv = int(value)
+        if iv < 0:
+            iv = 0
+        idx = iv.bit_length()
+        counts = self.counts
+        if idx >= len(counts):
+            counts.extend([0] * (idx + 1 - len(counts)))
+        counts[idx] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        if self.total == 0:
+            return 0.0
+        return self.sum / self.total
+
+    def buckets(self) -> List[Dict[str, float]]:
+        """Non-empty buckets as ``{lo, hi, count}`` rows (hi exclusive)."""
+        rows = []
+        for idx, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lo = 0 if idx == 0 else 2 ** (idx - 1)
+            hi = 1 if idx == 0 else 2 ** idx
+            rows.append({"lo": lo, "hi": hi, "count": count})
+        return rows
+
+    def read(self):
+        return {
+            "total": self.total,
+            "sum": self.sum,
+            "mean": self.mean,
+            "buckets": self.buckets(),
+        }
+
+
+class MetricsRegistry:
+    """The central, enumerable registry of every metric in one run."""
+
+    def __init__(self) -> None:
+        #: Insertion-ordered (dicts preserve order) name -> metric.
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._register(Counter(name))
+
+    def gauge(self, name: str, fn: Optional[Callable[[], float]] = None) -> Gauge:
+        gauge = self._register(Gauge(name, fn))
+        if fn is not None:
+            gauge.fn = fn
+        return gauge
+
+    def histogram(self, name: str) -> Log2Histogram:
+        return self._register(Log2Histogram(name))
+
+    # ------------------------------------------------------------------
+    # enumeration / export
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> List[Dict[str, object]]:
+        """Every metric as a ``{name, kind, value}`` row, sorted by name."""
+        return [
+            {"name": name, "kind": self._metrics[name].kind, "value": self._metrics[name].read()}
+            for name in sorted(self._metrics)
+        ]
+
+    def to_json(self) -> Dict[str, Dict[str, object]]:
+        """``name -> {kind, value}`` mapping (stable order via sorted keys)."""
+        return {
+            row["name"]: {"kind": row["kind"], "value": row["value"]}
+            for row in self.collect()
+        }
+
+    def render_text(self, title: str = "metrics") -> str:
+        """``ethtool -S`` style listing: one ``name: value`` line per metric."""
+        lines = [f"{title}: {len(self._metrics)} metrics"]
+        for row in self.collect():
+            value = row["value"]
+            if isinstance(value, dict):  # histogram
+                value = f"n={value['total']} mean={value['mean']:.1f}"
+            elif isinstance(value, float):
+                value = f"{value:.6g}"
+            lines.append(f"  {row['name']}: {value}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# binding existing subsystem stat fields into a registry
+# ----------------------------------------------------------------------
+def bind_machine(registry: MetricsRegistry, machine) -> None:
+    """Register a receiver machine's scattered stat fields as callback gauges.
+
+    Works on every machine type (classic, Xen, multi-queue) by duck typing:
+    anything with ``nics`` gets per-NIC/per-queue ring and interrupt metrics;
+    drivers, aggregation engines, and TCP connections are picked up when
+    present.  Reading happens lazily at collection/sampling time, so binding
+    costs the hot path nothing.
+    """
+    for nic in getattr(machine, "nics", ()):
+        stats = nic.stats
+        base = f"nic.{nic.name}"
+        registry.gauge(f"{base}.rx_frames", lambda s=stats: s.rx_frames)
+        registry.gauge(f"{base}.tx_frames", lambda s=stats: s.tx_frames)
+        registry.gauge(f"{base}.interrupts", lambda s=stats: s.interrupts)
+        registry.gauge(f"{base}.rx_csum_offloaded", lambda s=stats: s.rx_csum_offloaded)
+        registry.gauge(
+            f"{base}.rx_dropped_ring_full", lambda s=stats: s.rx_dropped_ring_full
+        )
+        for queue in nic.queues:
+            ring = queue.ring
+            qbase = f"{base}.q{queue.index}"
+            registry.gauge(f"{qbase}.ring.posted", lambda r=ring: r.posted)
+            registry.gauge(f"{qbase}.ring.drained", lambda r=ring: r.drained)
+            registry.gauge(f"{qbase}.ring.dropped", lambda r=ring: r.dropped)
+            registry.gauge(f"{qbase}.ring.occupancy", lambda r=ring: len(r))
+            registry.gauge(f"{qbase}.ring.peak_occupancy", lambda r=ring: r.peak_occupancy)
+            registry.gauge(f"{qbase}.interrupts", lambda q=queue: q.interrupts)
+            if queue.lro is not None:
+                registry.gauge(
+                    f"{qbase}.lro.merged_segments",
+                    lambda e=queue.lro: e.merged_segments,
+                )
+                registry.gauge(f"{qbase}.lro.flushes", lambda e=queue.lro: e.flushes)
+
+    # Classic machines keep a flat driver list; the multi-queue machine
+    # keeps one list per NIC (one driver per queue).
+    flat_drivers = []
+    for entry in getattr(machine, "drivers", ()):
+        if isinstance(entry, (list, tuple)):
+            flat_drivers.extend(entry)
+        else:
+            flat_drivers.append(entry)
+    for driver in flat_drivers:
+        stats = driver.stats
+        base = f"driver.{driver.name}"
+        registry.gauge(f"{base}.isr_runs", lambda s=stats: s.isr_runs)
+        registry.gauge(f"{base}.rx_packets", lambda s=stats: s.rx_packets)
+        registry.gauge(f"{base}.tx_packets", lambda s=stats: s.tx_packets)
+        registry.gauge(f"{base}.tx_templates", lambda s=stats: s.tx_templates)
+        registry.gauge(f"{base}.tx_expanded_acks", lambda s=stats: s.tx_expanded_acks)
+
+    for aggr in _aggregators_of(machine):
+        stats = aggr.stats
+        base = f"aggr.{aggr.name}"
+        registry.gauge(f"{base}.packets_in", lambda s=stats: s.packets_in)
+        registry.gauge(f"{base}.eligible", lambda s=stats: s.eligible)
+        registry.gauge(f"{base}.bypassed", lambda s=stats: s.bypassed)
+        registry.gauge(
+            f"{base}.aggregates_delivered", lambda s=stats: s.aggregates_delivered
+        )
+        registry.gauge(f"{base}.singles_delivered", lambda s=stats: s.singles_delivered)
+        registry.gauge(f"{base}.fragments_chained", lambda s=stats: s.fragments_chained)
+        registry.gauge(f"{base}.queue_depth", lambda a=aggr: len(a.queue))
+        registry.gauge(
+            f"{base}.peak_table_occupancy", lambda s=stats: s.peak_table_occupancy
+        )
+
+    cpus = getattr(machine, "cpus", None) or [machine.cpu]
+    for index, cpu in enumerate(cpus):
+        base = f"cpu.{index}"
+        registry.gauge(f"{base}.busy_cycles", lambda c=cpu: c.busy_cycles)
+        registry.gauge(
+            f"{base}.network_packets", lambda c=cpu: c.profiler.network_packets
+        )
+        registry.gauge(f"{base}.host_packets", lambda c=cpu: c.profiler.host_packets)
+        registry.gauge(f"{base}.acks_sent", lambda c=cpu: c.profiler.acks_sent)
+
+    kernel = getattr(machine, "kernel", None)
+    if kernel is not None:
+        registry.gauge("kernel.connections", lambda k=kernel: len(k.connections))
+        registry.gauge(
+            "kernel.bytes_received",
+            lambda k=kernel: sum(s.bytes_received for s in k.sockets.values()),
+        )
+
+
+def bind_connections(registry: MetricsRegistry, connections: Iterable) -> None:
+    """Per-connection protocol-state gauges (cwnd, rcv_nxt, advertised window).
+
+    Typically bound on the *sender* sockets of a streaming rig, where the
+    congestion window lives.
+    """
+    for conn in connections:
+        base = f"tcp.{conn.name}"
+        registry.gauge(f"{base}.cwnd", lambda c=conn: c.reno.cwnd)
+        registry.gauge(f"{base}.ssthresh", lambda c=conn: c.reno.ssthresh)
+        registry.gauge(f"{base}.rcv_nxt", lambda c=conn: c.rcv_nxt)
+        registry.gauge(f"{base}.retransmits", lambda c=conn: c.stats.retransmits)
+
+
+def _aggregators_of(machine) -> List[object]:
+    """Every aggregation engine a machine owns, across machine flavors."""
+    found = []
+    kernel = getattr(machine, "kernel", None)
+    if kernel is not None:
+        aggr = getattr(kernel, "aggregator", None)
+        if aggr is not None:
+            found.append(aggr)
+        found.extend(getattr(kernel, "aggregators", ()))
+    dd = getattr(machine, "driver_domain", None)
+    if dd is not None and getattr(dd, "aggregator", None) is not None:
+        found.append(dd.aggregator)
+    for aggr in getattr(machine, "aggregators", ()):
+        if aggr not in found:
+            found.append(aggr)
+    return found

@@ -1,0 +1,174 @@
+"""Process-global observation lifecycle: configure once, observe per run.
+
+The fast-path contract (PR 1) is that instrumentation costs nothing when
+off.  The mechanism mirrors the runtime sanitizer: a process-global
+:class:`ObsConfig` says *what* to collect, and each experiment run opens an
+:func:`observe` context that materializes an :class:`Observation` (tracer,
+metrics registry, sampler slot).  Components capture
+``active_tracer()``/``active_metrics()`` **at construction time** — rigs are
+built inside the ``observe()`` block — so the steady-state hot path is one
+attribute load and a ``None`` check, and with observation off it is exactly
+the pre-obs code path.
+
+Completed observations accumulate in a drainable list so a multi-run
+experiment (figure 7's six systems) can be exported as one merged Chrome
+trace with one process track per run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, TimeSeriesSampler
+from repro.obs.trace import DEFAULT_TRACE_LIMIT, Tracer, chrome_envelope
+
+
+@dataclass
+class ObsConfig:
+    """What the next :func:`observe` contexts should collect."""
+
+    trace: bool = False
+    trace_limit: int = DEFAULT_TRACE_LIMIT
+    metrics: bool = False
+    #: ``None`` disables sampling; otherwise the sim-time interval in seconds.
+    sample_interval: Optional[float] = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics or self.sample_interval is not None
+
+
+@dataclass
+class Observation:
+    """Everything collected over one experiment run."""
+
+    label: str = "run"
+    tracer: Optional[Tracer] = None
+    metrics: Optional[MetricsRegistry] = None
+    sampler: Optional[TimeSeriesSampler] = None
+    #: Arbitrary per-run annotations (system name, queues, ...).
+    meta: dict = field(default_factory=dict)
+
+    def make_sampler(self, sim, interval: Optional[float] = None) -> TimeSeriesSampler:
+        """Create (and remember) the run's sampler on ``sim``."""
+        self.sampler = TimeSeriesSampler(
+            sim, interval if interval is not None else DEFAULT_SAMPLE_INTERVAL
+        )
+        return self.sampler
+
+    def to_json(self) -> dict:
+        """One self-describing JSON document for the whole observation."""
+        doc: dict = {"label": self.label, "meta": dict(self.meta)}
+        if self.tracer is not None:
+            doc["trace"] = {
+                "span_counts": dict(sorted(self.tracer.span_counts.items())),
+                "events_dropped": self.tracer.events_dropped,
+                "latency_ns": self.tracer.latency_histograms(),
+            }
+        if self.metrics is not None:
+            doc["metrics"] = self.metrics.to_json()
+        if self.sampler is not None:
+            doc["series"] = self.sampler.to_json()
+        return doc
+
+
+# ----------------------------------------------------------------------
+# process-global state
+# ----------------------------------------------------------------------
+_config = ObsConfig()
+_active: Optional[Observation] = None
+_completed: List[Observation] = []
+
+
+def configure(
+    trace: Optional[bool] = None,
+    trace_limit: Optional[int] = None,
+    metrics: Optional[bool] = None,
+    sample_interval: Optional[float] = None,
+) -> ObsConfig:
+    """Update the process-global observation config (None = leave as is)."""
+    if trace is not None:
+        _config.trace = trace
+    if trace_limit is not None:
+        _config.trace_limit = trace_limit
+    if metrics is not None:
+        _config.metrics = metrics
+    if sample_interval is not None:
+        _config.sample_interval = sample_interval
+    return _config
+
+
+def config() -> ObsConfig:
+    return _config
+
+
+def reset() -> None:
+    """Return to the all-off default and forget collected observations."""
+    global _active
+    _config.trace = False
+    _config.trace_limit = DEFAULT_TRACE_LIMIT
+    _config.metrics = False
+    _config.sample_interval = None
+    _active = None
+    _completed.clear()
+
+
+@contextmanager
+def observe(label: str = "run") -> Iterator[Optional[Observation]]:
+    """Open one run's observation scope.
+
+    Yields ``None`` when observation is entirely off (the common case) so
+    callers can keep their fast path unconditional.  On exit the observation
+    is archived for :func:`drain_completed`.  Re-entrant: a nested scope
+    joins the enclosing observation instead of replacing it.
+    """
+    global _active
+    if not _config.enabled:
+        yield None
+        return
+    if _active is not None:
+        yield _active
+        return
+    obs = Observation(
+        label=label,
+        tracer=Tracer(_config.trace_limit) if _config.trace else None,
+        metrics=MetricsRegistry() if _config.metrics else None,
+    )
+    _active = obs
+    try:
+        yield obs
+    finally:
+        _active = None
+        _completed.append(obs)
+
+
+def active() -> Optional[Observation]:
+    return _active
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The tracer components should capture at construction time (or None)."""
+    obs = _active
+    return obs.tracer if obs is not None else None
+
+
+def active_metrics() -> Optional[MetricsRegistry]:
+    """The registry components should capture at construction time (or None)."""
+    obs = _active
+    return obs.metrics if obs is not None else None
+
+
+def drain_completed() -> List[Observation]:
+    """Pop every archived observation (oldest first)."""
+    out = list(_completed)
+    _completed.clear()
+    return out
+
+
+def completed_chrome_trace(observations: List[Observation]) -> dict:
+    """Merge the traced observations into one Chrome trace document."""
+    pairs = [(o.label, o.tracer) for o in observations if o.tracer is not None]
+    return chrome_envelope(pairs)

@@ -1,0 +1,258 @@
+"""Packet-lifecycle tracing: bounded ring buffer + Chrome trace-event export.
+
+The paper reasons about the receive path as a pipeline — NIC DMA, descriptor
+ring, (LRO) merge, softirq demultiplex, TCP processing, socket copy, ACK
+transmit — and its OProfile figures attribute cycles to those stages in
+aggregate.  The :class:`Tracer` records the same pipeline *per packet* as
+span events with simulated timestamps and durations, so one traced run can
+be opened in Perfetto (``ui.perfetto.dev``) via the Chrome trace-event JSON
+format and inspected stage by stage, queue by queue, CPU by CPU.
+
+Design constraints:
+
+* **Zero overhead when off.**  Instrumentation points hold a tracer
+  reference captured at construction time; when no observation is active
+  the reference is ``None`` and the hot path pays one attribute load and a
+  ``None`` check.
+* **Bounded memory.**  Events live in a ring buffer of ``limit`` entries;
+  when full, the oldest event is dropped and ``events_dropped`` counts it.
+  Per-stage span counts and latency histograms are *totals* maintained
+  outside the ring, so reconciliation against NIC/ring/LRO packet counters
+  survives truncation.
+* **Deterministic.**  Events carry only simulated time and protocol fields
+  (never object ids or wall-clock), so a seeded run traces bit-identically
+  every time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Log2Histogram
+
+#: Default ring capacity (events).  A quick figure-7 point emits roughly
+#: 100k spans; the default keeps whole quick runs while bounding long ones.
+DEFAULT_TRACE_LIMIT = 262_144
+
+
+class Stage:
+    """Span taxonomy: one stable name per receive-pipeline stage.
+
+    Names are dotted ``layer.event`` identifiers; they appear as the event
+    name in Perfetto and as keys of :attr:`Tracer.span_counts`.
+    """
+
+    NIC_RX = "nic.rx"                    # frame arrives at the NIC (pre-steering)
+    LRO_MERGE = "nic.lro.merge"          # hardware LRO absorbs a segment
+    LRO_CLOSE = "nic.lro.close"          # a hardware merge session closes
+    RING_POST = "nic.ring.post"          # descriptor DMA into the rx ring
+    RING_DROP = "nic.ring.drop"          # tail-drop: ring full
+    DRIVER_ISR = "driver.isr"            # ISR span: drain + per-packet work
+    SOFTIRQ = "softirq.baseline"         # baseline softirq span
+    AGGR_RUN = "softirq.aggr"            # aggregation softirq span
+    AGGR_MERGE = "softirq.aggr.merge"    # a packet chained onto a partial
+    AGGR_DELIVER = "softirq.aggr.deliver"  # an aggregate finalized + delivered
+    TCP_RX = "tcp.rx"                    # one host packet through IP/TCP
+    SOCK_READ = "socket.read"            # application drain of one socket
+    ACK_TX = "tcp.ack.tx"                # a pure ACK built in the stack
+    ACK_TEMPLATE = "tcp.ack.template"    # a template ACK leaves the stack (§4)
+    ACK_EXPAND = "driver.ack.expand"     # driver expands a template (§4.2)
+    XCPU_BOUNCE = "xcpu.bounce"          # demux touched remote-CPU state
+    XCPU_WAKEUP = "xcpu.wakeup"          # IPI + remote wakeup to the app CPU
+
+    ALL = (
+        NIC_RX, LRO_MERGE, LRO_CLOSE, RING_POST, RING_DROP, DRIVER_ISR,
+        SOFTIRQ, AGGR_RUN, AGGR_MERGE, AGGR_DELIVER, TCP_RX, SOCK_READ,
+        ACK_TX, ACK_TEMPLATE, ACK_EXPAND, XCPU_BOUNCE, XCPU_WAKEUP,
+    )
+
+
+class Tracer:
+    """Bounded ring buffer of lifecycle span events."""
+
+    __slots__ = ("limit", "events", "events_dropped", "span_counts", "_latency")
+
+    def __init__(self, limit: int = DEFAULT_TRACE_LIMIT):
+        if limit < 1:
+            raise ValueError("trace ring needs at least one slot")
+        self.limit = limit
+        #: Ring entries: (ts_s, dur_s, stage, tid, args-or-None).
+        self.events: Deque[Tuple[float, float, str, int, Optional[dict]]] = deque()
+        self.events_dropped = 0
+        #: Stage -> total spans recorded (maintained even when the ring drops).
+        self.span_counts: Dict[str, int] = {}
+        #: Per-stage latency histograms in *nanoseconds* (log2 buckets).
+        self._latency: Dict[str, Log2Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # recording (hot when tracing is on; unreachable when off)
+    # ------------------------------------------------------------------
+    def event(
+        self,
+        stage: str,
+        ts: float,
+        dur: float = 0.0,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one span (``dur > 0``) or instant (``dur == 0``) event."""
+        counts = self.span_counts
+        counts[stage] = counts.get(stage, 0) + 1
+        events = self.events
+        if len(events) >= self.limit:
+            events.popleft()
+            self.events_dropped += 1
+        events.append((ts, dur, stage, tid, args))
+        if dur > 0.0:
+            self.latency(stage, dur)
+
+    def latency(self, name: str, seconds: float) -> None:
+        """Observe a latency sample (recorded in ns, log2 buckets)."""
+        hist = self._latency.get(name)
+        if hist is None:
+            hist = self._latency[name] = Log2Histogram(name)
+        hist.observe(seconds * 1e9)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def count(self, stage: str) -> int:
+        return self.span_counts.get(stage, 0)
+
+    def latency_histograms(self) -> Dict[str, dict]:
+        """``name -> {total, sum, mean, buckets}`` (values in nanoseconds)."""
+        return {name: self._latency[name].read() for name in sorted(self._latency)}
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def chrome_events(self, pid: int = 0) -> List[dict]:
+        """This ring's events in Chrome trace-event form (ts/dur in µs)."""
+        out: List[dict] = []
+        for ts, dur, stage, tid, args in self.events:
+            if dur > 0.0:
+                ev = {
+                    "name": stage,
+                    "cat": "repro",
+                    "ph": "X",
+                    "ts": ts * 1e6,
+                    "dur": dur * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            else:
+                ev = {
+                    "name": stage,
+                    "cat": "repro",
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            if args:
+                ev["args"] = args
+            out.append(ev)
+        return out
+
+    def to_chrome_trace(self, label: str = "run") -> dict:
+        """A complete, self-contained Chrome trace-event document."""
+        return chrome_envelope([(label, self)])
+
+
+def chrome_envelope(tracers: List[Tuple[str, Tracer]]) -> dict:
+    """Merge ``(label, tracer)`` pairs into one Chrome trace document.
+
+    Each tracer becomes one *process* (pid) named by its label, so a
+    multi-run experiment (figure 7's six points) opens in Perfetto as
+    side-by-side process tracks; tids within a run are CPU indices.
+    """
+    events: List[dict] = []
+    for pid, (label, tracer) in enumerate(tracers):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        tids = sorted({tid for _, _, _, tid, _ in tracer.events})
+        for tid in tids:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": f"cpu{tid}"},
+                }
+            )
+        events.extend(tracer.chrome_events(pid=pid))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# helpers for instrumentation points
+# ----------------------------------------------------------------------
+_TID_CACHE: Dict[str, int] = {}
+
+
+def cpu_tid(cpu) -> int:
+    """Trace thread id for a CPU: the trailing index of its name.
+
+    ``server-cpu3`` -> 3; anything without a trailing index maps to 0.
+    Only called with tracing on; resolved names are cached.
+    """
+    name = getattr(cpu, "name", "")
+    tid = _TID_CACHE.get(name)
+    if tid is None:
+        digits = ""
+        for ch in reversed(name):
+            if not ch.isdigit():
+                break
+            digits = ch + digits
+        tid = _TID_CACHE[name] = int(digits) if digits else 0
+    return tid
+
+
+# ----------------------------------------------------------------------
+# schema validation (used by tests and `python -m repro.obs check`)
+# ----------------------------------------------------------------------
+_PHASE_REQUIRED = {"name", "ph", "ts", "pid", "tid"}
+
+
+def validate_chrome_trace(doc: object) -> List[str]:
+    """Problems with a Chrome trace-event document; empty list = valid."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            problems.append(f"traceEvents[{i}] is not an object")
+            continue
+        if ev.get("ph") == "M":
+            missing = {"name", "ph", "pid"} - set(ev)
+            if missing:
+                problems.append(f"traceEvents[{i}] metadata missing {sorted(missing)}")
+            continue
+        missing = _PHASE_REQUIRED - set(ev)
+        if missing:
+            problems.append(f"traceEvents[{i}] missing {sorted(missing)}")
+            continue
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            problems.append(f"traceEvents[{i}] has bad ts {ev['ts']!r}")
+        if ev["ph"] == "X" and not isinstance(ev.get("dur"), (int, float)):
+            problems.append(f"traceEvents[{i}] complete event without dur")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems

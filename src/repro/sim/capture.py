@@ -2,14 +2,25 @@
 
 A :class:`PacketCapture` taps a link (or any packet stream) and records
 :class:`CaptureRecord` entries with timestamps.  Captures support BPF-ish
-filtering by flow/port/flags, summary rendering, and basic statistics —
-used by tests to assert on wire behaviour and by users to debug workloads.
+filtering by flow/port/flags, summary rendering, basic statistics, and
+JSON export — used by tests to assert on wire behaviour and by users to
+debug workloads.
+
+With ``max_records`` set the capture is a bounded ring (like tcpdump's
+``-c`` combined with a rotating buffer): once full, the *oldest* record is
+evicted so the capture always holds the most recent window, and
+``records_dropped`` counts the evictions.  The tracer in
+:mod:`repro.obs.trace` uses the same drop-oldest policy, so a truncated
+capture and a truncated trace describe the same (latest) slice of the run.
 """
 
 from __future__ import annotations
 
+import json
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from itertools import islice
+from typing import Callable, Deque, List, Optional
 
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
@@ -38,6 +49,19 @@ class CaptureRecord:
             f" win={pkt.tcp.window}"
         )
 
+    def to_json(self) -> dict:
+        """JSON-ready form of one record (flow rendered, flags by name)."""
+        pkt = self.packet
+        return {
+            "time": self.time,
+            "flow": repr(self.flow),
+            "seq": pkt.tcp.seq,
+            "ack": pkt.tcp.ack,
+            "len": pkt.payload_len,
+            "win": pkt.tcp.window,
+            "flags": [f.name for f in TcpFlags if f in pkt.tcp.flags],
+        }
+
 
 class PacketCapture:
     """Records packets passing a tap point.
@@ -50,8 +74,16 @@ class PacketCapture:
         self.sim = sim
         self.name = name
         self.max_records = max_records
-        self.records: List[CaptureRecord] = []
-        self.dropped_records = 0
+        #: Bounded ring of the most recent ``max_records`` records
+        #: (unbounded when ``max_records`` is None).
+        self.records: Deque[CaptureRecord] = deque()
+        #: Oldest records evicted because the ring was full.
+        self.records_dropped = 0
+
+    @property
+    def dropped_records(self) -> int:
+        """Backwards-compatible alias for :attr:`records_dropped`."""
+        return self.records_dropped
 
     # ------------------------------------------------------------------
     def tap_link(self, link: Link) -> None:
@@ -67,8 +99,10 @@ class PacketCapture:
 
     def record(self, pkt: Packet) -> None:
         if self.max_records is not None and len(self.records) >= self.max_records:
-            self.dropped_records += 1
-            return
+            # Ring semantics: evict the oldest so the capture always holds
+            # the most recent window (matches the obs tracer's policy).
+            self.records.popleft()
+            self.records_dropped += 1
         self.records.append(CaptureRecord(self.sim.now, pkt))
 
     # ------------------------------------------------------------------
@@ -129,10 +163,33 @@ class PacketCapture:
 
     def dump(self, limit: int = 50) -> str:
         lines = [f"capture {self.name!r}: {len(self.records)} packets"]
-        lines += [rec.summary() for rec in self.records[:limit]]
+        if self.records_dropped:
+            lines[0] += f" ({self.records_dropped} older dropped)"
+        lines += [rec.summary() for rec in islice(self.records, limit)]
         if len(self.records) > limit:
             lines.append(f"... {len(self.records) - limit} more")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """The whole capture as one JSON document.
+
+        The shape is what ``python -m repro.obs check`` validates as a
+        *capture* document: a ``records`` list of timestamped objects plus
+        the ring bookkeeping.
+        """
+        return {
+            "capture": self.name,
+            "max_records": self.max_records,
+            "records_dropped": self.records_dropped,
+            "records": [rec.to_json() for rec in self.records],
+        }
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=1)
 
     def __len__(self) -> int:
         return len(self.records)

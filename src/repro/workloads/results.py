@@ -30,6 +30,10 @@ class ThroughputResult:
     #: Simulator events fired across the whole run (warmup + measurement),
     #: for the perf-benchmark harness (events/sec of the simulator itself).
     events_fired: int = 0
+    #: Time-series telemetry (``{"interval_s", "samples", "series"}``) when
+    #: the run was sampled (see :mod:`repro.obs.sampler`); None otherwise.
+    #: Excluded from figure rows, so sampled rows stay bit-identical.
+    series: Optional[Dict] = None
 
     @property
     def cpu_scaled_mbps(self) -> float:

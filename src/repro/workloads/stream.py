@@ -18,6 +18,9 @@ from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.host.machine import ReceiverMachine
 from repro.net.addresses import ip_from_str
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import bind_connections, bind_machine
+from repro.obs.sampler import bind_standard_probes
 from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConfig
 from repro.tcp.source import InfiniteSource
@@ -63,6 +66,26 @@ def build_stream_rig(
     return sim, machine, clients, sender_sockets
 
 
+def bind_observation(obs, sim, machine, senders, horizon: float) -> None:
+    """Wire an active observation into a freshly built rig.
+
+    Registers the machine's stat fields and the senders' protocol state into
+    the metrics registry (callback gauges — nothing is written twice) and
+    arms the time-series sampler up to ``horizon``.  Works for the classic,
+    Xen, and multi-queue rigs alike.
+    """
+    if obs is None:
+        return
+    if obs.metrics is not None:
+        bind_machine(obs.metrics, machine)
+        bind_connections(obs.metrics, [sock.conn for sock in senders])
+    interval = obs_runtime.config().sample_interval
+    if interval is not None:
+        sampler = obs.make_sampler(sim, interval)
+        bind_standard_probes(sampler, machine, senders)
+        sampler.start(horizon=horizon)
+
+
 def run_stream_experiment(
     config: SystemConfig,
     opt: OptimizationConfig,
@@ -71,7 +94,28 @@ def run_stream_experiment(
     warmup: float = 0.15,
 ) -> ThroughputResult:
     """Run the streaming benchmark and measure over [warmup, warmup+duration]."""
+    label = f"{config.name}/{'opt' if opt.receive_aggregation else 'base'}"
+    with obs_runtime.observe(label) as obs:
+        result = _run_stream_observed(
+            config, opt, n_connections, duration, warmup, obs
+        )
+        if obs is not None:
+            obs.meta.update(system=result.system, optimized=result.optimized)
+            if obs.sampler is not None:
+                result.series = obs.sampler.to_json()
+    return result
+
+
+def _run_stream_observed(
+    config: SystemConfig,
+    opt: OptimizationConfig,
+    n_connections: Optional[int],
+    duration: float,
+    warmup: float,
+    obs,
+) -> ThroughputResult:
     sim, machine, clients, senders = build_stream_rig(config, opt, n_connections)
+    bind_observation(obs, sim, machine, senders, horizon=warmup + duration)
 
     sim.run(until=warmup)
     profile0 = machine.profiler.snapshot(sim.now)

@@ -89,3 +89,43 @@ def test_interarrival(sim):
         sim.schedule(t, cap.record, _pkt())
     sim.run()
     assert cap.interarrival_times() == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
+def test_ring_keeps_latest_records(sim):
+    cap = PacketCapture(sim, max_records=2)
+    for i in range(5):
+        cap.record(_pkt(seq=i * 100))
+    # Drop-oldest ring: the survivors are the most recent packets.
+    assert [rec.packet.tcp.seq for rec in cap.records] == [300, 400]
+    assert cap.records_dropped == 3
+    # Legacy alias still reads the same counter.
+    assert cap.dropped_records == cap.records_dropped
+
+
+def test_dump_mentions_dropped(sim):
+    cap = PacketCapture(sim, name="ring", max_records=1)
+    cap.record(_pkt())
+    cap.record(_pkt(seq=100))
+    assert "1 older dropped" in cap.dump()
+
+
+def test_capture_to_json_validates(sim, tmp_path):
+    import json
+
+    from repro.obs.__main__ import check_document
+
+    cap = PacketCapture(sim, name="exp", max_records=2)
+    sim.schedule(1e-3, cap.record, _pkt(seq=0))
+    sim.schedule(2e-3, cap.record, _pkt(seq=100, flags=TcpFlags.ACK | TcpFlags.PSH))
+    sim.run()
+    doc = cap.to_json()
+    assert doc["capture"] == "exp"
+    assert doc["records_dropped"] == 0
+    assert doc["records"][0]["time"] == pytest.approx(1e-3)
+    assert doc["records"][1]["seq"] == 100
+    assert "PSH" in doc["records"][1]["flags"]
+    assert check_document(doc) == ("capture", [])
+
+    out = tmp_path / "cap.json"
+    cap.write_json(str(out))
+    assert check_document(json.loads(out.read_text())) == ("capture", [])

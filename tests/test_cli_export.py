@@ -99,3 +99,61 @@ def test_cli_report_quick(tmp_path, capsys, monkeypatch):
     assert main(["report", out_path, "--quick"]) == 0
     text = open(out_path).read()
     assert "ablation_limit1" in text
+
+
+# ---------------------------------------------------------------- obs flags
+def test_breakdown_to_json_transposes_categories():
+    from repro.analysis.export import breakdown_to_json
+
+    result = fake_result(
+        columns=["category", "baseline", "optimized"],
+        rows=[{"category": "driver", "baseline": 100.0, "optimized": 40.0},
+              {"category": "tcp", "baseline": 50.0, "optimized": 45.0}],
+    )
+    doc = breakdown_to_json(result)
+    assert doc["breakdown"] == {
+        "baseline": {"driver": 100.0, "tcp": 50.0},
+        "optimized": {"driver": 40.0, "tcp": 45.0},
+    }
+
+
+def test_breakdown_to_json_passthrough_for_plain_rows():
+    from repro.analysis.export import breakdown_to_json
+
+    doc = breakdown_to_json(fake_result())
+    assert "breakdown" not in doc
+    assert doc["columns"] == ["a", "b"] and len(doc["rows"]) == 2
+
+
+def test_cli_run_with_observability_flags(tmp_path, capsys):
+    """End-to-end: every obs flag produces a file that validates."""
+    import json as _json
+
+    from repro.obs.__main__ import check_document
+
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.json"
+    profile = tmp_path / "profile.json"
+    assert main([
+        "run", "ablation_limit1", "--quick",
+        "--trace", str(trace),
+        "--metrics-out", str(metrics),
+        "--sample-interval", "0.005",
+        "--profile-out", str(profile),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "time-series dashboard" in out
+    for path, expected_kind in (
+        (trace, "chrome-trace"),
+        (metrics, "observation-bundle"),
+        (profile, "profile"),
+    ):
+        with open(path) as fh:
+            doc = _json.load(fh)
+        kind, problems = check_document(doc)
+        assert kind == expected_kind and problems == [], (path, kind, problems)
+    # The CLI resets the process-global config after exporting.
+    from repro import obs
+
+    assert not obs.config().enabled
+    assert obs.drain_completed() == []

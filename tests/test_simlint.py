@@ -395,6 +395,64 @@ class TestUnpicklableWorker:
 
 
 # ----------------------------------------------------------------------
+# hot-path-io
+# ----------------------------------------------------------------------
+class TestHotPathIo:
+    def test_print_fires(self):
+        assert_fires("hot-path-io", """
+            def deliver(self, skb):
+                print("got", skb)
+        """)
+
+    def test_import_logging_fires(self):
+        assert_fires("hot-path-io", "import logging\n")
+
+    def test_from_logging_fires(self):
+        assert_fires("hot-path-io", "from logging import getLogger\n")
+
+    def test_logging_attribute_fires(self):
+        assert_fires("hot-path-io", """
+            def f(logging):
+                logging.info("x")
+        """)
+
+    def test_obs_tracer_call_clean(self):
+        # The blessed alternative — trace events through repro.obs — is quiet.
+        assert_clean("hot-path-io", """
+            def f(self, tr, now):
+                if tr is not None:
+                    tr.event("tcp.rx", now)
+        """)
+
+    def test_obs_package_exempt(self):
+        assert_clean(
+            "hot-path-io",
+            "def dash(s):\n    print(s.render_dashboard())\n",
+            relname="src/repro/obs/sampler.py",
+        )
+
+    def test_analysis_package_exempt(self):
+        assert_clean(
+            "hot-path-io",
+            "def report(text):\n    print(text)\n",
+            relname="src/repro/analysis/reporting.py",
+        )
+
+    def test_cli_exempt(self):
+        assert_clean(
+            "hot-path-io",
+            "def main():\n    print('rows')\n",
+            relname="src/repro/cli.py",
+        )
+
+    def test_line_suppression(self):
+        assert_clean("hot-path-io", """
+            def f(self):
+                print("boot banner")  # simlint: allow(hot-path-io) -- intended
+        """)
+
+
+# ----------------------------------------------------------------------
 # framework behaviour
 # ----------------------------------------------------------------------
 class TestFramework:
@@ -409,6 +467,7 @@ class TestFramework:
             "packet-mutation",
             "float-eq",
             "unpicklable-worker",
+            "hot-path-io",
         }
         assert set(RULES_BY_ID) == ids
 
@@ -483,5 +542,6 @@ def test_every_rule_has_a_firing_test():
         "packet-mutation",
         "float-eq",
         "unpicklable-worker",
+        "hot-path-io",
     }
     assert covered == set(RULES_BY_ID)
