@@ -16,6 +16,14 @@ fired simulation event is followed by an audit of the live protocol state —
   computation (RFC 1624 incremental update correctness, §4.2);
 * packets are conserved NIC → ring → driver → aggregation → stack: nothing
   is duplicated, nothing silently vanishes (periodic deep audit);
+* wire frames are conserved per impaired link (sent + duplicated ==
+  delivered + dropped + in-flight), even across loss bursts, dup storms,
+  and link flaps;
+* a driver watchdog reset neither leaks nor double-counts: ring descriptors
+  drained == packets taken by the stack + packets flushed by resets;
+* graceful-degradation governors keep enter/exit counters consistent with
+  their degraded flag, and aggregation engines account every packet even
+  when degraded or allocation-starved;
 * the event heap's live-entry accounting matches its contents.
 
 Violations raise :class:`InvariantViolation` immediately, at the event that
@@ -323,6 +331,88 @@ class SimSanitizer:
                 self._audit_flow_steering(nic)
             for aggregator in self._machine_aggregators(machine):
                 self._audit_aggregator(aggregator)
+            for link in getattr(machine, "links", ()):
+                self._audit_link(link)
+            for driver in self._machine_drivers(machine):
+                self._audit_driver_conservation(driver)
+            for governor in self._machine_governors(machine):
+                self._audit_governor(governor)
+
+    @staticmethod
+    def _machine_drivers(machine) -> List[object]:
+        flat = []
+        for entry in machine.drivers:
+            if isinstance(entry, (list, tuple)):
+                flat.extend(entry)
+            else:
+                flat.append(entry)
+        return flat
+
+    @staticmethod
+    def _machine_governors(machine) -> List[object]:
+        found = []
+        governor = getattr(machine, "governor", None)
+        if governor is not None:
+            found.append(governor)
+        found.extend(getattr(machine, "governors", ()))
+        return found
+
+    def _audit_link(self, link) -> None:
+        """Wire-frame conservation under combined impairments: every frame
+        ever sent is delivered, dropped, duplicated-and-accounted, or still
+        in flight — nothing aliases, nothing silently vanishes."""
+        stats = link.stats
+        sent = stats.frames_sent + stats.frames_duplicated
+        accounted = stats.frames_delivered + stats.frames_dropped + link.in_flight
+        if sent != accounted:
+            raise InvariantViolation(
+                f"{link.name}: link frame conservation broken — "
+                f"{stats.frames_sent} sent + {stats.frames_duplicated} "
+                f"duplicated != {stats.frames_delivered} delivered + "
+                f"{stats.frames_dropped} dropped + {link.in_flight} in flight"
+            )
+        if link.in_flight < 0:
+            raise InvariantViolation(
+                f"{link.name}: in-flight frame count went negative "
+                f"({link.in_flight})"
+            )
+
+    def _audit_driver_conservation(self, driver) -> None:
+        """A watchdog NIC reset must neither leak nor double-count: every
+        descriptor ever drained from the driver's ring was either handed to
+        the stack (``rx_packets``) or discarded by a reset flush
+        (``rx_dropped_reset``)."""
+        stats = driver.stats
+        drained = driver.queue.ring.drained
+        if drained != stats.rx_packets + stats.rx_dropped_reset:
+            raise InvariantViolation(
+                f"{driver.name}: driver/reset packet conservation broken — "
+                f"ring drained {drained} but driver took {stats.rx_packets} "
+                f"+ {stats.rx_dropped_reset} dropped by reset "
+                f"(resets={stats.resets})"
+            )
+
+    def _audit_governor(self, governor) -> None:
+        """Degradation transitions are consistent: the flag matches the
+        enter/exit counters and the EWMA stays a probability."""
+        stats = governor.stats
+        expected = stats.enters - stats.exits
+        if expected not in (0, 1) or bool(expected) != governor.degraded:
+            raise InvariantViolation(
+                f"governor {governor.name}: transition accounting broken — "
+                f"{stats.enters} enters / {stats.exits} exits but "
+                f"degraded={governor.degraded}"
+            )
+        if not (0.0 <= governor.rate <= 1.0):
+            raise InvariantViolation(
+                f"governor {governor.name}: disorder-rate EWMA left [0, 1] "
+                f"({governor.rate!r})"
+            )
+        if stats.disorder_events > stats.packets_seen:
+            raise InvariantViolation(
+                f"governor {governor.name}: {stats.disorder_events} disorder "
+                f"events exceed {stats.packets_seen} packets seen"
+            )
 
     def _audit_heap(self) -> None:
         sim = self.sim
@@ -392,11 +482,13 @@ class SimSanitizer:
         if delivered is None:
             return  # deliver was never wrapped (engine idle so far)
         parked = sum(p.count for p in aggregator.table.values())
-        if stats.packets_in != delivered + parked:
+        dropped = stats.dropped_no_buffer
+        if stats.packets_in != delivered + parked + dropped:
             raise InvariantViolation(
                 f"{name}: aggregation segment conservation broken — "
                 f"{stats.packets_in} packets in != {delivered} delivered + "
-                f"{parked} parked in partial aggregates"
+                f"{parked} parked in partial aggregates + "
+                f"{dropped} dropped on pool exhaustion"
             )
 
 

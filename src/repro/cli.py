@@ -7,6 +7,9 @@ Usage::
     python -m repro run figure7 --quick --trace trace.json --metrics-out m.json \
         --sample-interval 0.005 --profile-out profile.json
     python -m repro run extension_rss_scaling [--queues 1 2 4 8] [--jobs N]
+    python -m repro run figure7 --quick --drop 0.01 --reorder 0.02 --dup 0.01
+    python -m repro run figure12 --quick --fault-plan plan.json --jobs -1
+    python -m repro run extension_resilience [--quick] [--jobs N] [--sanitize]
     python -m repro all [--quick] [--csv-dir results/] [--jobs N]
     python -m repro report [--quick] [EXPERIMENTS.md]
 
@@ -15,6 +18,13 @@ invariant checker (:mod:`repro.analysis.sanitizer`) for the whole run,
 including sweep worker processes.  Expect a slowdown; any protocol or
 conservation violation aborts with a precise error instead of a wrong
 number.
+
+Wire-impairment flags (on ``run``; see :mod:`repro.faults`): ``--drop`` /
+``--reorder`` / ``--dup`` apply independent per-frame probabilities to
+every inbound link of every rig the experiment builds; ``--fault-plan
+FILE.json`` arms a deterministic fault schedule on top.  Experiments that
+do not take impairments reject the flags loudly rather than ignoring them.
+Impaired rows stay bit-identical between serial and ``--jobs`` runs.
 
 Observability flags (on ``run``/``all``; see :mod:`repro.obs`):
 ``--trace PATH`` writes a merged Chrome trace-event JSON (open at
@@ -108,13 +118,27 @@ def _print_result(result, csv_path=None) -> None:
         print(f"\nwrote {csv_path}")
 
 
+def _impairments_from_args(args):
+    """Build the ImpairmentConfig the wire flags describe (None if clean)."""
+    if not (args.drop or args.reorder or args.dup or args.fault_plan):
+        return None
+    from repro.faults.plan import FaultPlan, ImpairmentConfig
+
+    plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    return ImpairmentConfig(
+        drop=args.drop, reorder=args.reorder, dup=args.dup,
+        seed=args.impair_seed, plan=plan,
+    )
+
+
 def _cmd_run(args) -> int:
     _obs_setup(args)
     try:
         result = run_experiment(
-            args.experiment, quick=args.quick, jobs=args.jobs, queues=args.queues
+            args.experiment, quick=args.quick, jobs=args.jobs, queues=args.queues,
+            impairments=_impairments_from_args(args),
         )
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     _print_result(result, args.csv)
@@ -195,6 +219,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--queues", type=int, nargs="+", default=None, metavar="Q",
         help="receive-queue counts to sweep (experiments with a queues "
         "parameter, e.g. extension_rss_scaling; others ignore it)",
+    )
+    p_run.add_argument(
+        "--drop", type=float, default=0.0, metavar="P",
+        help="per-frame drop probability on every inbound link "
+        "(experiments that accept impairments, e.g. figure7/figure12)",
+    )
+    p_run.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="per-frame reorder probability on every inbound link",
+    )
+    p_run.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-frame duplication probability on every inbound link",
+    )
+    p_run.add_argument(
+        "--fault-plan", metavar="FILE.json",
+        help="arm a deterministic fault schedule (repro.faults.plan JSON) "
+        "against every rig the experiment builds",
+    )
+    p_run.add_argument(
+        "--impair-seed", type=int, default=971, metavar="N",
+        help="root seed for the per-link impairment RNG streams",
     )
     p_run.add_argument(
         "--profile-out", metavar="PATH",

@@ -15,7 +15,7 @@ callers.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.buffers.pool import BufferPool
 from repro.buffers.skbuff import SkBuff
@@ -28,12 +28,14 @@ def build_template_ack_skb(
     event: AckEvent,
     pool: BufferPool,
     now: float = 0.0,
-) -> SkBuff:
+) -> Optional[SkBuff]:
     """Build the template-ACK sk_buff for a batch of consecutive ACKs.
 
     The head packet is the *first* ACK of the sequence; the ACK numbers of
     the whole batch (including the first) are stored in the sk_buff metadata
-    for the driver (§4.2).
+    for the driver (§4.2).  Returns ``None`` when the sk_buff pool is
+    exhausted (memory-pressure fault window); the caller falls back to the
+    unbatched per-ACK transmit path.
     """
     if not event.acks:
         raise ValueError("empty ACK batch")
@@ -43,7 +45,7 @@ def build_template_ack_skb(
     head.fill_checksums()
     skb = pool.alloc(head, now=now)
     if skb is None:
-        raise RuntimeError("buffer pool exhausted building template ACK")
+        return None
     skb.template_acks = list(event.acks)
     return skb
 

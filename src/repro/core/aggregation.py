@@ -79,6 +79,12 @@ class AggregationStats:
     flush_work_conserving: int = 0
     flush_eviction: int = 0
     flush_bypass_ordering: int = 0
+    #: Partials flushed because the governor entered degraded mode.
+    flush_degrade: int = 0
+    #: Packets dropped because the sk_buff pool was exhausted.
+    dropped_no_buffer: int = 0
+    #: Packets delivered as cheap singles while coalescing was degraded.
+    packets_degraded: int = 0
     peak_table_occupancy: int = 0
 
     def note_bypass(self, reason: BypassReason) -> None:
@@ -142,6 +148,7 @@ class AggregationEngine:
         opt: OptimizationConfig,
         pool: BufferPool,
         deliver: Callable[[SkBuff], None],
+        governor=None,
         name: str = "aggr0",
     ):
         if opt.aggregation_limit < 1:
@@ -151,9 +158,16 @@ class AggregationEngine:
         self.opt = opt
         self.pool = pool
         self.deliver = deliver
+        #: Optional :class:`~repro.faults.degradation.CoalesceGovernor`.
+        #: ``None`` (the default) keeps ``run()`` on the ungoverned hot
+        #: path, byte-identical to the pre-governor engine.
+        self.governor = governor
         self.name = name
         self.stats = AggregationStats()
         self._tr = active_tracer()
+        #: Per-flow expected next sequence number, maintained only by the
+        #: governed path as its disorder detector.
+        self._gov_next_seq: Dict[FlowKey, int] = {}
         #: The per-CPU lock-free producer/consumer queue (§3.5).  Raw
         #: packets only — no sk_buff has been allocated for them yet.
         self.queue: Deque[Packet] = deque()
@@ -175,6 +189,9 @@ class AggregationEngine:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Consume the queue, aggregating; then flush (work conservation)."""
+        if self.governor is not None:
+            self._run_governed()
+            return
         consume = self.cpu.consume
         costs = self.costs
         queue = self.queue
@@ -201,6 +218,75 @@ class AggregationEngine:
             aggregate(pkt)
         # Queue empty: the stack is about to go idle — flush everything.
         self._flush_all(work_conserving=True)
+
+    def _run_governed(self) -> None:
+        """The governed consume loop: identical costs and behaviour to
+        :meth:`run` while healthy; under a disorder storm the governor
+        degrades the engine to cheap single delivery (no match/table work)
+        until the wire quiets down (hysteresis — see
+        :mod:`repro.faults.degradation`)."""
+        consume = self.cpu.consume
+        costs = self.costs
+        queue = self.queue
+        popleft = queue.popleft
+        stats = self.stats
+        governor = self.governor
+        next_seq = self._gov_next_seq
+        bypass_reason = self._bypass_reason
+        mac_cost = costs.mac_rx_processing
+        match_cost = costs.aggr_match_per_packet
+        aggr_cat = Category.AGGR
+        now = self.cpu.sim.now
+        while queue:
+            pkt = popleft()
+            stats.packets_in += 1
+            consume(mac_cost, aggr_cat)
+            # Disorder detector: out-of-sequence arrival on a known flow,
+            # or a frame that failed checksum verification.
+            if pkt.payload_len > 0:
+                key = pkt.flow_key
+                expected = next_seq.get(key)
+                disorder = (
+                    (expected is not None and pkt.tcp.seq != expected)
+                    or not pkt.csum_verified
+                )
+                next_seq[key] = pkt.end_seq
+                was_degraded = governor.degraded
+                degraded = governor.observe(disorder, now)
+                if degraded and not was_degraded:
+                    # Entering degraded mode: nothing may stay parked while
+                    # we stop matching against the table.
+                    while self.table:
+                        _, partial = self.table.popitem(last=False)
+                        stats.flush_degrade += 1
+                        self._finalize(partial)
+            else:
+                degraded = governor.degraded
+            reason = bypass_reason(pkt)
+            if reason is not None:
+                consume(match_cost, aggr_cat)
+                stats.note_bypass(reason)
+                self._bypass(pkt, reason)
+            elif degraded:
+                self._deliver_single(pkt)
+            else:
+                consume(match_cost, aggr_cat)
+                stats.eligible += 1
+                self._aggregate(pkt)
+        self._flush_all(work_conserving=True)
+
+    def _deliver_single(self, pkt: Packet) -> None:
+        """Degraded-mode delivery: no match, no table — one cheap single."""
+        skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+        if skb is None:
+            self.stats.dropped_no_buffer += 1
+            return
+        self.cpu.consume(self.costs.skb_alloc, Category.BUFFER)
+        self.cpu.consume(self.costs.aggr_deliver_single, Category.AGGR)
+        self.stats.singles_delivered += 1
+        self.stats.packets_degraded += 1
+        self.governor.stats.packets_degraded += 1
+        self.deliver(skb)
 
     # ------------------------------------------------------------------
     # eligibility (§3.1)
@@ -285,6 +371,11 @@ class AggregationEngine:
         # §3.5: the sk_buff is allocated here, once per aggregated packet,
         # not per network packet.
         skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+        if skb is None:
+            # Pool exhausted (memory-pressure fault window): drop, as a
+            # failed netdev_alloc_skb would.  TCP retransmission recovers.
+            self.stats.dropped_no_buffer += 1
+            return
         self.cpu.consume(self.costs.skb_alloc, Category.BUFFER)
         skb.frag_acks.append(pkt.tcp.ack)
         skb.frag_end_seqs.append(pkt.end_seq)
@@ -334,6 +425,9 @@ class AggregationEngine:
             self.stats.flush_bypass_ordering += 1
             self._finalize(partial)
         skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+        if skb is None:
+            self.stats.dropped_no_buffer += 1
+            return
         self.cpu.consume(self.costs.skb_alloc, Category.BUFFER)
         self.stats.singles_delivered += 1
         self.deliver(skb)

@@ -22,14 +22,32 @@ class OptimizationConfig:
     #: Entries in the partial-aggregate lookup table (§3.5: "a small lookup
     #: table").  Eviction flushes the least-recently-used partial packet.
     lookup_table_size: int = 8
+    #: Graceful degradation: wire a
+    #: :class:`~repro.faults.degradation.CoalesceGovernor` into the
+    #: aggregation engine (and hardware LRO) so coalescing auto-disables
+    #: under a disorder storm and re-enables after a quiet period.  Off by
+    #: default — the ungoverned hot path stays byte-identical.
+    auto_degrade: bool = False
 
     @classmethod
     def baseline(cls) -> "OptimizationConfig":
         return cls(receive_aggregation=False, ack_offload=False)
 
     @classmethod
-    def optimized(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
-        return cls(receive_aggregation=True, ack_offload=True, aggregation_limit=aggregation_limit)
+    def optimized(
+        cls, aggregation_limit: int = 20, auto_degrade: bool = False
+    ) -> "OptimizationConfig":
+        return cls(
+            receive_aggregation=True,
+            ack_offload=True,
+            aggregation_limit=aggregation_limit,
+            auto_degrade=auto_degrade,
+        )
+
+    @classmethod
+    def resilient(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
+        """All optimizations plus governor-driven graceful degradation."""
+        return cls.optimized(aggregation_limit=aggregation_limit, auto_degrade=True)
 
     @classmethod
     def aggregation_only(cls, aggregation_limit: int = 20) -> "OptimizationConfig":

@@ -48,6 +48,10 @@ class CostModel:
     #: TSO: splitting one wire segment out of a large send at the driver/NIC
     #: boundary (header replication, descriptor per segment).
     tso_split_per_segment: float = 150.0
+    #: Watchdog NIC reset: disable interrupts, reinitialize the descriptor
+    #: ring, reprogram the device (fault-recovery path only; never charged
+    #: on a clean run).
+    driver_reset: float = 25_000.0
 
     # ---------------- buffer management (category: buffer) ----------------
     #: sk_buff slab allocation (paper §2.2: sk_buff memory management is the

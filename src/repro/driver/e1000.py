@@ -39,6 +39,16 @@ class DriverStats:
     tx_packets: int = 0
     tx_templates: int = 0
     tx_expanded_acks: int = 0
+    #: Drained packets discarded because hardware checksum validation
+    #: flagged them (corrupted in flight).
+    rx_csum_discards: int = 0
+    #: Drained packets discarded because the sk_buff pool was exhausted.
+    rx_dropped_no_buffer: int = 0
+    #: Ring packets discarded by a watchdog NIC reset (host packets).
+    rx_dropped_reset: int = 0
+    #: Watchdog activity.
+    watchdog_ticks: int = 0
+    resets: int = 0
 
 
 class E1000Driver:
@@ -72,6 +82,13 @@ class E1000Driver:
         self.name = name
         self.stats = DriverStats()
         self._tr = active_tracer()
+        # Watchdog state (opt-in: start_watchdog()).  Disarmed, the driver
+        # schedules zero extra events and the clean path is bit-identical.
+        self._watchdog_armed = False
+        self._watchdog_interval_s = 2e-3
+        self._watchdog_last_drained = -1
+        self._watchdog_stall_ticks = 0
+        self._reset_pending = False
         nic.bind_driver(self, queue_index)
 
     # ------------------------------------------------------------------
@@ -108,6 +125,17 @@ class E1000Driver:
             prof.network_packets += segs
             consume(rx_cost * segs, driver_cat)
             consume(misc_cost * segs, misc_cat)
+        if self.nic.stats.rx_csum_errors:
+            # Hardware flagged at least one frame this run: discard the
+            # descriptors whose checksum validation failed.  (Zero on a
+            # clean wire, so the filter never runs there.)
+            kept = []
+            for pkt in pkts:
+                if pkt.corrupted and self.nic.checksum_offload:
+                    self.stats.rx_csum_discards += 1
+                else:
+                    kept.append(pkt)
+            pkts = kept
         if self.aggregation:
             # §3.5: raw hand-off — no sk_buff, no MAC processing here.
             self.kernel.aggregator.enqueue(pkts)
@@ -117,6 +145,13 @@ class E1000Driver:
             for pkt in pkts:
                 consume(costs.mac_rx_processing, Category.DRIVER)
                 skb = self.pool.alloc(pkt, now=self.cpu.sim.now)
+                if skb is None:
+                    # Pool exhausted (memory-pressure fault window): the
+                    # packet is dropped here, exactly as a failed
+                    # netdev_alloc_skb drops on real hardware.  TCP
+                    # retransmission recovers the bytes.
+                    self.stats.rx_dropped_no_buffer += 1
+                    continue
                 consume(costs.skb_alloc, Category.BUFFER)
                 skbs.append(skb)
             self.kernel.softirq_baseline(skbs)
@@ -133,6 +168,87 @@ class E1000Driver:
         # Packets that arrived while we were processing get a fresh
         # (moderated) interrupt.
         self.queue.poll()
+
+    # ------------------------------------------------------------------
+    # watchdog + reset (fault recovery)
+    # ------------------------------------------------------------------
+    def start_watchdog(self, interval_s: float = 2e-3) -> None:
+        """Arm the stall watchdog (like e1000's 2-second watchdog task,
+        scaled to simulation timescales).
+
+        Every ``interval_s`` the watchdog checks whether the queue's ring
+        holds packets that are not being drained; two consecutive stalled
+        observations with no interrupt pending trigger :meth:`reset`.
+        Disarmed (the default) the driver schedules no events at all, so
+        clean-path runs are bit-identical with the subsystem present.
+        """
+        if self._watchdog_armed:
+            return
+        self._watchdog_armed = True
+        self._watchdog_interval_s = interval_s
+        self._watchdog_last_drained = self.queue.ring.drained
+        self._watchdog_stall_ticks = 0
+        self._reset_pending = False
+        self.cpu.sim.schedule(interval_s, self._watchdog_tick)
+
+    def _watchdog_tick(self) -> None:
+        self.stats.watchdog_ticks += 1
+        queue = self.queue
+        ring = queue.ring
+        stalled = (
+            len(ring) > 0
+            and ring.drained == self._watchdog_last_drained
+            and not queue._irq_pending
+        )
+        self._watchdog_stall_ticks = self._watchdog_stall_ticks + 1 if stalled else 0
+        self._watchdog_last_drained = ring.drained
+        if self._watchdog_stall_ticks >= 2 and not self._reset_pending:
+            self._reset_pending = True
+            self._watchdog_stall_ticks = 0
+            self.cpu.submit(self.reset)
+        self.cpu.sim.schedule(self._watchdog_interval_s, self._watchdog_tick)
+
+    def reset(self) -> None:
+        """Recover a hung NIC: drain and discard the stale ring, close
+        hardware LRO sessions, flush aggregation partials, and re-enable
+        interrupts.
+
+        Packet conservation holds across the reset: LRO sessions are closed
+        *through the ring* (so the NIC's wire-frame accounting balances) and
+        every drained-but-discarded packet is counted in
+        ``rx_dropped_reset`` (so ring ``posted == drained + in-ring`` and
+        ``drained == rx_packets + rx_dropped_reset`` both still audit).
+        TCP retransmission recovers the discarded bytes.
+        """
+        self._reset_pending = False
+        self.stats.resets += 1
+        consume = self.cpu.consume
+        consume(self.cpu.costs.driver_reset, Category.DRIVER)
+        queue = self.queue
+        ring = queue.ring
+        nic = self.nic
+        if queue.lro is not None:
+            for out in queue.lro.flush():
+                if not ring.post(out):
+                    nic.stats.rx_dropped_ring_full += 1
+        stale = ring.drain()
+        self.stats.rx_dropped_reset += len(stale)
+        if self.aggregation:
+            # Nothing may stay parked across a reset: deliver every partial
+            # aggregate through the normal (work-conserving) flush path.
+            self.kernel.softirq_aggregated()
+        nic.hung = False
+        queue._irq_pending = False
+        tr = self._tr
+        if tr is not None:
+            tr.event(
+                Stage.DRIVER_RESET,
+                max(self.cpu.busy_until, self.cpu.sim.now),
+                tid=cpu_tid(self.cpu),
+                args={"discarded": len(stale)},
+            )
+        # Anything DMAed after the drain gets a fresh interrupt.
+        queue.poll()
 
     # ------------------------------------------------------------------
     # transmit

@@ -13,13 +13,22 @@ Xen        1088      1877       +86%
 With Receive Aggregation only (no ACK offload) the gains are +26%/+36%/+45%
 at 100% CPU.  The optimized native systems saturate all five GbE links below
 full CPU (≈93%), which is why the paper also reports CPU-scaled units.
+
+The sweep also accepts wire impairments (``--drop``/``--reorder``/``--dup``
+and ``--fault-plan``): every rig of every row then runs behind the same
+impaired links, serially or with ``--jobs`` — rows are bit-identical either
+way because the per-link RNG streams derive from the impairment seed, never
+from worker identity.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Optional, Tuple
+
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import ExperimentResult, window
 from repro.host.configs import linux_smp_config, linux_up_config, xen_config
+from repro.parallel import run_points
 from repro.workloads.stream import run_stream_experiment
 
 PAPER_EXPECTED = {
@@ -28,28 +37,64 @@ PAPER_EXPECTED = {
     "Xen": {"original": 1088, "optimized": 1877, "gain_abs": 0.86, "agg_only_gain": 0.45},
 }
 
+#: Row order matches the paper's figure (and the previous serial loop).
+SYSTEM_CONFIGS = {
+    "Linux UP": linux_up_config,
+    "Linux SMP": linux_smp_config,
+    "Xen": xen_config,
+}
 
-def run(quick: bool = False, include_aggregation_only: bool = True) -> ExperimentResult:
+
+def _measure_system(point: Tuple[str, float, float, bool, object]) -> Dict[str, float]:
+    """One sweep point: one system's baseline/optimized (/agg-only) runs.
+
+    Module-level and fed plain picklable data (the config *name*, not the
+    config object) so the :mod:`repro.parallel` pool can ship it to worker
+    processes; each simulation is fully isolated.
+    """
+    system, duration, warmup, include_aggregation_only, impairments = point
+    config = SYSTEM_CONFIGS[system]()
+    base = run_stream_experiment(
+        config, OptimizationConfig.baseline(),
+        duration=duration, warmup=warmup, impairments=impairments,
+    )
+    opt = run_stream_experiment(
+        config, OptimizationConfig.optimized(),
+        duration=duration, warmup=warmup, impairments=impairments,
+    )
+    row = {
+        "system": config.name,
+        "Original Mb/s": base.throughput_mbps,
+        "Optimized Mb/s": opt.throughput_mbps,
+        "gain %": 100 * (opt.throughput_mbps / base.throughput_mbps - 1),
+        "CPU-scaled gain %": 100 * (opt.cpu_scaled_mbps / base.cpu_scaled_mbps - 1),
+        "opt CPU util %": 100 * opt.cpu_utilization,
+    }
+    if include_aggregation_only:
+        agg = run_stream_experiment(
+            config, OptimizationConfig.aggregation_only(),
+            duration=duration, warmup=warmup, impairments=impairments,
+        )
+        row["AggOnly Mb/s"] = agg.throughput_mbps
+        row["AggOnly gain %"] = 100 * (agg.throughput_mbps / base.throughput_mbps - 1)
+    return row
+
+
+def run(
+    quick: bool = False,
+    include_aggregation_only: bool = True,
+    jobs: Optional[int] = None,
+    impairments=None,
+) -> ExperimentResult:
     duration, warmup = window(quick)
-    rows = []
-    for config in (linux_up_config(), linux_smp_config(), xen_config()):
-        base = run_stream_experiment(config, OptimizationConfig.baseline(), duration=duration, warmup=warmup)
-        opt = run_stream_experiment(config, OptimizationConfig.optimized(), duration=duration, warmup=warmup)
-        row = {
-            "system": config.name,
-            "Original Mb/s": base.throughput_mbps,
-            "Optimized Mb/s": opt.throughput_mbps,
-            "gain %": 100 * (opt.throughput_mbps / base.throughput_mbps - 1),
-            "CPU-scaled gain %": 100 * (opt.cpu_scaled_mbps / base.cpu_scaled_mbps - 1),
-            "opt CPU util %": 100 * opt.cpu_utilization,
-        }
-        if include_aggregation_only:
-            agg = run_stream_experiment(
-                config, OptimizationConfig.aggregation_only(), duration=duration, warmup=warmup
-            )
-            row["AggOnly Mb/s"] = agg.throughput_mbps
-            row["AggOnly gain %"] = 100 * (agg.throughput_mbps / base.throughput_mbps - 1)
-        rows.append(row)
+    rows = run_points(
+        _measure_system,
+        [
+            (system, duration, warmup, include_aggregation_only, impairments)
+            for system in SYSTEM_CONFIGS
+        ],
+        jobs=jobs,
+    )
     columns = ["system", "Original Mb/s", "Optimized Mb/s", "gain %", "CPU-scaled gain %", "opt CPU util %"]
     if include_aggregation_only:
         columns += ["AggOnly Mb/s", "AggOnly gain %"]

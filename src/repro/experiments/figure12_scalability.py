@@ -22,22 +22,27 @@ QUICK_COUNTS = (5, 50, 400)
 PAPER_EXPECTED = {"min_gain_at_400": 0.40}
 
 
-def _measure_point(point: Tuple[int, float, float]) -> Dict[str, float]:
-    """One sweep point: (connections, duration, warmup) -> one result row.
+def _measure_point(point: Tuple) -> Dict[str, float]:
+    """One sweep point: (connections, duration, warmup[, impairments]) ->
+    one result row.
 
-    Runs the baseline and optimized simulations for one connection count.
-    Module-level and returning a plain dict so it is picklable for the
+    Runs the baseline and optimized simulations for one connection count,
+    optionally behind impaired links / an armed fault plan.  Module-level
+    and returning a plain dict so it is picklable for the
     :mod:`repro.parallel` process pool; each simulation is fully isolated
     (own Simulator / machine / per-source seeded RNGs).
     """
-    n, duration, warmup = point
+    n, duration, warmup = point[:3]
+    impairments = point[3] if len(point) > 3 else None
     base = run_stream_experiment(
         linux_smp_config(), OptimizationConfig.baseline(),
         n_connections=n, duration=duration, warmup=warmup,
+        impairments=impairments,
     )
     opt = run_stream_experiment(
         linux_smp_config(), OptimizationConfig.optimized(),
         n_connections=n, duration=duration, warmup=warmup,
+        impairments=impairments,
     )
     return {
         "connections": n,
@@ -48,11 +53,15 @@ def _measure_point(point: Tuple[int, float, float]) -> Dict[str, float]:
     }
 
 
-def run(quick: bool = False, jobs: Optional[int] = None) -> ExperimentResult:
+def run(
+    quick: bool = False, jobs: Optional[int] = None, impairments=None
+) -> ExperimentResult:
     duration, warmup = window(quick)
     counts = QUICK_COUNTS if quick else FULL_COUNTS
     rows = run_points(
-        _measure_point, [(n, duration, warmup) for n in counts], jobs=jobs
+        _measure_point,
+        [(n, duration, warmup, impairments) for n in counts],
+        jobs=jobs,
     )
     return ExperimentResult(
         experiment_id="figure12",

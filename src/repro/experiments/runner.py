@@ -12,6 +12,7 @@ from repro.experiments import (
     extension_itr,
     extension_jumbo,
     extension_load_sensitivity,
+    extension_resilience,
     extension_rss_scaling,
     extension_tso,
     figure01_prefetching,
@@ -48,6 +49,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_itr": extension_itr.run,
     "extension_bidirectional": extension_bidirectional.run,
     "extension_load_sensitivity": extension_load_sensitivity.run,
+    "extension_resilience": extension_resilience.run,
     "extension_rss_scaling": extension_rss_scaling.run,
     "extension_tso": extension_tso.run,
 }
@@ -58,6 +60,7 @@ def run_experiment(
     quick: bool = False,
     jobs: Optional[int] = None,
     queues: Optional[List[int]] = None,
+    impairments=None,
 ) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"figure7"``).
 
@@ -66,6 +69,10 @@ def run_experiment(
     parameter simply run serially.  Results are identical either way.
     ``queues`` overrides the swept receive-queue counts for experiments
     that take one (``extension_rss_scaling``); others ignore it.
+    ``impairments`` (an :class:`~repro.faults.plan.ImpairmentConfig`)
+    applies wire impairments / a fault plan to experiments that accept
+    them; asking an experiment that doesn't is an error, not a silent
+    clean-wire run.
     """
     try:
         fn = REGISTRY[experiment_id]
@@ -79,6 +86,13 @@ def run_experiment(
         kwargs["jobs"] = jobs
     if queues is not None and "queues" in params:
         kwargs["queues"] = queues
+    if impairments is not None:
+        if "impairments" not in params:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not take wire impairments "
+                "(--drop/--reorder/--dup/--fault-plan)"
+            )
+        kwargs["impairments"] = impairments
     return fn(quick=quick, **kwargs)
 
 

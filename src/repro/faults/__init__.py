@@ -1,0 +1,37 @@
+"""Deterministic fault injection and graceful degradation.
+
+The paper's §3.2 equivalence claim ("congestion control and ACK generation
+behave as if every network packet had been seen") is only credible if the
+optimized receive paths survive adversity, not just benefit from a quiet
+wire.  This package provides the machinery to prove that:
+
+* :mod:`repro.faults.plan` — :class:`FaultSpec` / :class:`FaultPlan`:
+  declarative, JSON-serializable schedules of fault windows at precise
+  simulated times, fully seeded and picklable (parallel sweeps replay
+  bit-identically).
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: arms a plan
+  against a built receiver rig, mutating links, rings, buffer pools, and
+  NICs at the scheduled instants, and arming the driver watchdogs that
+  recover from NIC hangs.
+* :mod:`repro.faults.degradation` — :class:`CoalesceGovernor`: the
+  hysteresis controller that lets the aggregation engine and hardware LRO
+  auto-disable coalescing under a reorder/corruption storm and re-enable
+  after a quiet period.
+
+See ``experiments/extension_resilience.py`` for the end-to-end sweep and
+DESIGN.md §9 for the fault model.
+"""
+
+from repro.faults.degradation import CoalesceGovernor, GovernorStats
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, ImpairmentConfig
+
+__all__ = [
+    "CoalesceGovernor",
+    "GovernorStats",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FAULT_KINDS",
+    "ImpairmentConfig",
+]

@@ -1,0 +1,119 @@
+"""Graceful degradation of coalescing under disorder storms.
+
+Receive aggregation (§3) and hardware LRO both presuppose in-sequence
+arrival: under a sustained reorder or corruption storm every would-be merge
+mismatches, so the engine pays match + table + header-rewrite cycles *per
+packet* and still delivers singles — strictly worse than not coalescing.
+"Sorting Reordered Packets with Interrupt Coalescing" (Wu et al.) documents
+exactly this pathology on real systems.
+
+:class:`CoalesceGovernor` is the hysteresis controller both engines consult
+when wired (``governor=`` argument; ``None`` — the default — keeps the hot
+path byte-identical to the ungoverned build):
+
+* an EWMA of the per-packet disorder indicator (out-of-sequence arrival or
+  failed checksum) estimates the current disorder rate;
+* when the rate crosses ``enter_threshold`` (after ``min_packets`` warmup)
+  the governor *degrades*: coalescing is bypassed and packets are delivered
+  as cheap singles;
+* it *restores* only when the rate has fallen below ``exit_threshold`` AND
+  ``quiet_period_s`` has elapsed since the last observed disorder — the
+  hysteresis gap plus dwell prevents flapping at the storm's edges.
+
+All transitions are counted (:class:`GovernorStats`) and surfaced as obs
+span events and metrics gauges; the sanitizer audits enter/exit consistency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.runtime import active_tracer
+from repro.obs.trace import Stage
+
+
+@dataclass
+class GovernorStats:
+    packets_seen: int = 0
+    disorder_events: int = 0
+    enters: int = 0
+    exits: int = 0
+    packets_degraded: int = 0
+
+
+class CoalesceGovernor:
+    """Hysteresis controller: should coalescing be bypassed right now?"""
+
+    __slots__ = (
+        "enter_threshold", "exit_threshold", "alpha", "min_packets",
+        "quiet_period_s", "name", "stats", "degraded", "rate",
+        "_last_disorder_at", "_tr",
+    )
+
+    def __init__(
+        self,
+        enter_threshold: float = 0.25,
+        exit_threshold: float = 0.05,
+        alpha: float = 0.05,
+        min_packets: int = 64,
+        quiet_period_s: float = 2e-3,
+        name: str = "governor",
+    ):
+        if not (0.0 < exit_threshold < enter_threshold <= 1.0):
+            raise ValueError(
+                "need 0 < exit_threshold < enter_threshold <= 1 for hysteresis"
+            )
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError("EWMA alpha must be in (0, 1]")
+        self.enter_threshold = enter_threshold
+        self.exit_threshold = exit_threshold
+        self.alpha = alpha
+        self.min_packets = min_packets
+        self.quiet_period_s = quiet_period_s
+        self.name = name
+        self.stats = GovernorStats()
+        self.degraded = False
+        self.rate = 0.0
+        self._last_disorder_at: Optional[float] = None
+        self._tr = active_tracer()
+
+    # ------------------------------------------------------------------
+    def observe(self, disorder: bool, now: float) -> bool:
+        """Feed one packet's disorder indicator; returns the (possibly
+        updated) degraded state that should govern *this* packet."""
+        stats = self.stats
+        stats.packets_seen += 1
+        alpha = self.alpha
+        if disorder:
+            stats.disorder_events += 1
+            self._last_disorder_at = now
+            self.rate += alpha * (1.0 - self.rate)
+        else:
+            self.rate -= alpha * self.rate
+
+        if self.degraded:
+            if self.rate < self.exit_threshold and self._quiet_for(now):
+                self.degraded = False
+                stats.exits += 1
+                tr = self._tr
+                if tr is not None:
+                    tr.event(Stage.AGGR_RESTORE, now, args={"rate": round(self.rate, 4)})
+        elif self.rate > self.enter_threshold and stats.packets_seen >= self.min_packets:
+            self.degraded = True
+            stats.enters += 1
+            tr = self._tr
+            if tr is not None:
+                tr.event(Stage.AGGR_DEGRADE, now, args={"rate": round(self.rate, 4)})
+        return self.degraded
+
+    def _quiet_for(self, now: float) -> bool:
+        last = self._last_disorder_at
+        return last is None or (now - last) >= self.quiet_period_s
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "degraded" if self.degraded else "coalescing"
+        return (
+            f"CoalesceGovernor({self.name!r}, {state}, rate={self.rate:.3f}, "
+            f"enters={self.stats.enters}, exits={self.stats.exits})"
+        )

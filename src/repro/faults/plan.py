@@ -1,0 +1,206 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` windows plus a root
+seed.  Plans are plain data: JSON round-trippable (the ``--fault-plan
+FILE.json`` CLI flag) and picklable (parallel sweep workers replay them
+bit-identically).
+
+Every randomized fault derives its RNG stream from the plan seed and the
+spec's position, never from wall clock or global state, so a plan replays
+identically run after run — the property the chaos-quick CI job asserts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Every fault kind the injector knows how to apply.
+#:
+#: ``loss_burst``     bursty correlated loss (Gilbert–Elliott) on inbound links
+#: ``corrupt``        per-frame corruption; receiver checksum must reject
+#: ``reorder_storm``  elevated reorder probability on inbound links
+#: ``dup_storm``      elevated duplication probability on inbound links
+#: ``ring_storm``     rx descriptor rings shrink -> overrun/tail-drop storm
+#: ``pool_exhaust``   sk_buff pool capacity window -> alloc failures
+#: ``link_flap``      administrative link down for the window
+#: ``nic_hang``       NIC stops raising interrupts; driver watchdog recovers
+FAULT_KINDS = (
+    "loss_burst",
+    "corrupt",
+    "reorder_storm",
+    "dup_storm",
+    "ring_storm",
+    "pool_exhaust",
+    "link_flap",
+    "nic_hang",
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window: ``kind`` active over [start, start+duration).
+
+    ``intensity`` is the kind's primary knob in [0, 1]:
+
+    * ``loss_burst``: stationary loss rate target (drives the bad-state
+      dwell); ``params`` may override ``p_good_bad``/``p_bad_good``/
+      ``loss_bad``/``loss_good`` directly.
+    * ``corrupt`` / ``reorder_storm`` / ``dup_storm``: the per-frame
+      probability applied during the window.
+    * ``ring_storm``: fraction of ring capacity *removed* (0.9 leaves 10%).
+    * ``pool_exhaust``: ignored unless ``params["capacity"]`` is absent, in
+      which case capacity = max(4, int((1-intensity) * 256)).
+    * ``link_flap`` / ``nic_hang``: ignored (binary faults).
+
+    ``target`` selects which NIC/link index the fault hits ("*" = all).
+    """
+
+    kind: str
+    start: float
+    duration: float
+    intensity: float = 1.0
+    target: str = "*"
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.start < 0 or self.duration <= 0:
+            raise ValueError(
+                f"fault window must have start >= 0 and duration > 0 "
+                f"(got start={self.start}, duration={self.duration})"
+            )
+        if not (0.0 <= self.intensity <= 1.0):
+            raise ValueError(f"intensity must be in [0, 1] (got {self.intensity})")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def hits(self, index: int) -> bool:
+        """Does this fault apply to NIC/link ``index``?"""
+        return self.target == "*" or self.target == str(index)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault windows."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 20080622  # the paper's USENIX ATC publication date
+    name: str = "plan"
+
+    def __post_init__(self):
+        # JSON loads and callers may hand in lists; store a tuple so plans
+        # are hashable and safely shared across sweep points.
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    @property
+    def horizon(self) -> float:
+        """Latest fault end time (0.0 for an empty plan)."""
+        return max((spec.end for spec in self.specs), default=0.0)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.kind for spec in self.specs}))
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "faults": [asdict(spec) for spec in self.specs],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "FaultPlan":
+        specs = tuple(
+            FaultSpec(
+                kind=entry["kind"],
+                start=float(entry["start"]),
+                duration=float(entry["duration"]),
+                intensity=float(entry.get("intensity", 1.0)),
+                target=str(entry.get("target", "*")),
+                params={k: float(v) for k, v in entry.get("params", {}).items()},
+            )
+            for entry in doc.get("faults", ())
+        )
+        return cls(
+            specs=specs,
+            seed=int(doc.get("seed", 20080622)),
+            name=str(doc.get("name", "plan")),
+        )
+
+    def dump(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        with open(path) as fh:
+            return cls.from_json(json.load(fh))
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Everything the CLI/sweep layers plumb into a stream rig.
+
+    Uniform per-frame probabilities applied to every inbound link from rig
+    construction on (``--drop`` / ``--reorder`` / ``--dup``), plus an
+    optional :class:`FaultPlan` of scheduled windows (``--fault-plan``).
+    Frozen + plain data, so sweep points carrying one pickle cleanly and
+    parallel rows stay bit-identical to serial ones.
+    """
+
+    drop: float = 0.0
+    reorder: float = 0.0
+    dup: float = 0.0
+    seed: int = 971
+    plan: Optional[FaultPlan] = None
+
+    def __post_init__(self):
+        for label, p in (("drop", self.drop), ("reorder", self.reorder), ("dup", self.dup)):
+            if not (0.0 <= p < 1.0):
+                raise ValueError(f"{label} probability must be in [0, 1) (got {p})")
+
+    @property
+    def any_active(self) -> bool:
+        return bool(self.drop or self.reorder or self.dup or self.plan)
+
+
+def storm_plan(
+    kind: str,
+    intensity: float,
+    start: float = 0.02,
+    duration: float = 0.05,
+    seed: int = 20080622,
+    params: Optional[Dict[str, float]] = None,
+) -> FaultPlan:
+    """A one-window plan — the resilience sweep's unit of work."""
+    spec = FaultSpec(
+        kind=kind, start=start, duration=duration,
+        intensity=intensity, params=dict(params or {}),
+    )
+    return FaultPlan(specs=(spec,), seed=seed, name=f"{kind}@{intensity:g}")
+
+
+def sample_plan() -> FaultPlan:
+    """A kitchen-sink plan exercising every fault kind (docs/CLI demo)."""
+    return FaultPlan(
+        name="sample",
+        specs=(
+            FaultSpec("loss_burst", start=0.020, duration=0.020, intensity=0.3),
+            FaultSpec("corrupt", start=0.050, duration=0.015, intensity=0.2),
+            FaultSpec("reorder_storm", start=0.075, duration=0.015, intensity=0.3),
+            FaultSpec("ring_storm", start=0.100, duration=0.010, intensity=0.9),
+            FaultSpec("pool_exhaust", start=0.120, duration=0.010, intensity=0.9),
+            FaultSpec("link_flap", start=0.140, duration=0.005),
+            FaultSpec("nic_hang", start=0.155, duration=0.010),
+        ),
+    )

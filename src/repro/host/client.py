@@ -92,6 +92,8 @@ class ClientHost:
         tcp = pkt.tcp
         if ip.dst_ip != self.ip:
             return
+        if pkt.corrupted:
+            return  # checksum verification fails; drop before TCP sees it
         # Plain tuples hash/compare equal to FlowKey (a NamedTuple), so the
         # hot-path lookup skips constructing one.
         conn = self.connections.get((ip.dst_ip, tcp.dst_port, ip.src_ip, tcp.src_port))

@@ -150,6 +150,12 @@ class Kernel:
         self._dirty_sockets: List[KernelSocket] = []
 
         self.aggregator = None  # set by the machine when aggregation is on
+        #: Data segments the software checksum pass rejected (corrupted in
+        #: flight, no hardware offload to catch them earlier).
+        self.rx_csum_drops = 0
+        #: Template-ACK batches that fell back to per-ACK transmit because
+        #: the sk_buff pool was exhausted.
+        self.ack_template_alloc_fails = 0
         #: Lifecycle tracer captured at construction (None = tracing off).
         self._tr = active_tracer()
         #: Extra keyword overrides applied to every accepted connection's
@@ -236,6 +242,21 @@ class Kernel:
         if not skb.csum_verified and pkt.payload_len > 0:
             # No hardware checksum: the stack verifies in software (per-byte).
             consume(costs.checksum_cycles(skb.payload_len), Category.PER_BYTE)
+            if pkt.corrupted:
+                # The software checksum caught in-flight damage: drop the
+                # segment before TCP sees it; retransmission recovers it.
+                self.rx_csum_drops += 1
+                skb.free()
+                consume(costs.skb_free, Category.BUFFER)
+                if tr is not None:
+                    tr.event(
+                        Stage.TCP_RX,
+                        t0,
+                        max(0.0, self.cpu.busy_until - t0),
+                        tid=cpu_tid(self.cpu),
+                        args={"seq": pkt.tcp.seq, "csum_drop": 1},
+                    )
+                return
 
         consume(costs.non_proto_rx, Category.NON_PROTO)
         consume(costs.ip_rx, Category.RX)
@@ -406,17 +427,21 @@ class Kernel:
             consume(costs.template_ack_per_entry * len(event.acks), Category.TX)
             consume(costs.ip_tx, Category.TX)
             skb = build_template_ack_skb(conn, event, self.pool, now=self.sim.now)
-            consume(costs.skb_alloc, Category.BUFFER)
-            consume(costs.non_proto_tx, Category.NON_PROTO)
-            if tr is not None:
-                tr.event(
-                    Stage.ACK_TEMPLATE,
-                    max(self.cpu.busy_until, self.sim.now),
-                    tid=cpu_tid(self.cpu),
-                    args={"acks": len(event.acks)},
-                )
-            driver.tx_template(skb)
-            return
+            if skb is not None:
+                consume(costs.skb_alloc, Category.BUFFER)
+                consume(costs.non_proto_tx, Category.NON_PROTO)
+                if tr is not None:
+                    tr.event(
+                        Stage.ACK_TEMPLATE,
+                        max(self.cpu.busy_until, self.sim.now),
+                        tid=cpu_tid(self.cpu),
+                        args={"acks": len(event.acks)},
+                    )
+                driver.tx_template(skb)
+                return
+            # Pool exhausted (fault window): fall back to sending the batch
+            # as individual ACKs — the wire still sees every ACK.
+            self.ack_template_alloc_fails += 1
         for ack in event.acks:
             consume(costs.tcp_tx_ack, Category.TX)
             consume(costs.ip_tx, Category.TX)

@@ -18,6 +18,7 @@ from typing import List, Optional
 from repro.buffers.pool import BufferPool
 from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
+from repro.faults.degradation import CoalesceGovernor
 from repro.driver.e1000 import E1000Driver
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
@@ -50,6 +51,11 @@ class ReceiverMachine:
         self.pool = BufferPool(name=f"{name}-skb")
         self.kernel = Kernel(sim, self.cpu, config, opt, pool=self.pool, name=name)
         self.kernel.set_ip(self.ip)
+        #: Graceful-degradation governor (None unless opt.auto_degrade and
+        #: some coalescing engine exists to govern).
+        self.governor: Optional[CoalesceGovernor] = None
+        if opt.auto_degrade and (opt.receive_aggregation or config.nic_lro):
+            self.governor = CoalesceGovernor(name=f"{name}-governor")
         if opt.receive_aggregation:
             self.kernel.aggregator = AggregationEngine(
                 cpu=self.cpu,
@@ -57,12 +63,17 @@ class ReceiverMachine:
                 opt=opt,
                 pool=self.pool,
                 deliver=self.kernel.deliver_host_skb,
+                governor=self.governor,
                 name=f"{name}-aggr",
             )
 
         self.nics: List[Nic] = []
         self.drivers: List[E1000Driver] = []
         self.clients: List[ClientHost] = []
+        #: Inbound (client -> NIC) links, one per client, in attach order —
+        #: the fault injector and the sanitizer's link-conservation audit
+        #: walk this list.
+        self.links: List[Link] = []
 
     # ------------------------------------------------------------------
     def add_client(
@@ -82,7 +93,7 @@ class ReceiverMachine:
             itr_interval_s=cfg.itr_interval_s,
             checksum_offload=cfg.checksum_offload,
             mtu=cfg.mtu,
-            lro=LroEngine(limit=cfg.lro_limit) if cfg.nic_lro else None,
+            lro=LroEngine(limit=cfg.lro_limit, governor=self.governor) if cfg.nic_lro else None,
             name=f"{self.name}-eth{index}",
         )
         nic.adaptive_itr = cfg.adaptive_itr
@@ -111,6 +122,7 @@ class ReceiverMachine:
         self.nics.append(nic)
         self.drivers.append(driver)
         self.clients.append(client)
+        self.links.append(inbound)
         return nic
 
     # ------------------------------------------------------------------

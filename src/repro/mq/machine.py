@@ -23,6 +23,7 @@ from repro.buffers.pool import BufferPool
 from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
 from repro.driver.e1000 import E1000Driver
+from repro.faults.degradation import CoalesceGovernor
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.mq.costs import CrossCpuCostModel, mq_lock_model
@@ -88,6 +89,12 @@ class MqReceiverMachine:
         self.nics: List[Nic] = []
         self.drivers: List[List[E1000Driver]] = []  # per nic: one per queue
         self.clients: List[ClientHost] = []
+        #: Inbound (client -> NIC) links in attach order (fault injector /
+        #: sanitizer link-conservation audit).
+        self.links: List[Link] = []
+        #: Per-engine degradation governors (one per per-CPU aggregation
+        #: engine — each receive path degrades independently, lock-free).
+        self.governors: List[CoalesceGovernor] = []
 
     # ------------------------------------------------------------------
     def add_client(
@@ -117,6 +124,10 @@ class MqReceiverMachine:
         for q in range(self.queues):
             aggregator = None
             if self.opt.receive_aggregation:
+                governor = None
+                if self.opt.auto_degrade:
+                    governor = CoalesceGovernor(name=f"{self.name}-governor{index}.{q}")
+                    self.governors.append(governor)
                 # §3.5's per-CPU aggregation queue, one per receive path.
                 aggregator = AggregationEngine(
                     cpu=self.cpus[q],
@@ -124,6 +135,7 @@ class MqReceiverMachine:
                     opt=self.opt,
                     pool=self.pool,
                     deliver=self.kernel.deliver_host_skb,
+                    governor=governor,
                     name=f"{self.name}-aggr{index}.{q}",
                 )
                 self.kernel.aggregators.append(aggregator)
@@ -155,6 +167,7 @@ class MqReceiverMachine:
         self.nics.append(nic)
         self.drivers.append(nic_drivers)
         self.clients.append(client)
+        self.links.append(inbound)
         return nic
 
     # ------------------------------------------------------------------

@@ -35,6 +35,7 @@ class Packet:
         "payload",
         "payload_len",
         "csum_verified",
+        "corrupted",
         "rx_time",
         "created_time",
         "lro_segs",
@@ -62,6 +63,9 @@ class Packet:
             self.payload_len = payload_len or 0
         #: Set by the NIC when receive checksum offload validated the TCP checksum.
         self.csum_verified = False
+        #: Set by an impaired link: the frame was damaged in flight and any
+        #: checksum verification (hardware or software) must fail it.
+        self.corrupted = False
         #: Stamped by the NIC at DMA completion.
         self.rx_time: Optional[float] = None
         #: Stamped by the sender, for latency accounting.
@@ -274,6 +278,7 @@ class Packet:
         clone.payload = self.payload
         clone.payload_len = self.payload_len
         clone.csum_verified = self.csum_verified
+        clone.corrupted = self.corrupted
         clone.rx_time = self.rx_time
         clone.created_time = self.created_time
         clone.lro_segs = self.lro_segs
@@ -381,6 +386,7 @@ class PacketTemplate:
         pkt.payload = None
         pkt.payload_len = payload_len
         pkt.csum_verified = False
+        pkt.corrupted = False
         pkt.rx_time = None
         pkt.created_time = None
         pkt.lro_segs = 1

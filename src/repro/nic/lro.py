@@ -55,11 +55,16 @@ class LroEngine:
     hardware closes its sessions on interrupt assertion.
     """
 
-    def __init__(self, limit: int = 20, sessions: int = 8):
+    def __init__(self, limit: int = 20, sessions: int = 8, governor=None):
         if limit < 1:
             raise ValueError("LRO limit must be >= 1")
         self.limit = limit
         self.max_sessions = sessions
+        #: Optional :class:`~repro.faults.degradation.CoalesceGovernor`
+        #: (mirrors real NICs' per-port LRO disable bit).  ``None`` keeps
+        #: ``accept()`` on the ungoverned hot path.
+        self.governor = governor
+        self.passthrough_degraded = 0
         self.table: Dict[FlowKey, _LroSession] = {}
         self.merged_segments = 0
         self.flushes = 0
@@ -80,6 +85,23 @@ class LroEngine:
         return True
 
     def accept(self, pkt: Packet) -> List[Packet]:
+        governor = self.governor
+        if governor is not None and pkt.payload_len > 0:
+            key = pkt.flow_key
+            session = self.table.get(key)
+            disorder = not pkt.csum_verified or (
+                session is not None and pkt.tcp.seq != session.next_seq
+            )
+            if governor.observe(disorder, pkt.rx_time):
+                # Degraded: coalescing is off — close this flow's open
+                # session (ordering) and pass the frame straight through.
+                self.passthrough_degraded += 1
+                out = []
+                if session is not None:
+                    del self.table[key]
+                    out.append(self._close(session))
+                out.append(pkt)
+                return out
         out: List[Packet] = []
         if not self._mergeable(pkt):
             key = pkt.flow_key

@@ -37,6 +37,10 @@ class NicStats:
     rx_frames: int = 0
     rx_dropped_ring_full: int = 0
     rx_csum_offloaded: int = 0
+    #: Frames whose hardware TCP-checksum validation failed (corrupted in
+    #: flight); they are posted with ``csum_verified`` False and the driver
+    #: discards them on drain.
+    rx_csum_errors: int = 0
     tx_frames: int = 0
     interrupts: int = 0
 
@@ -68,6 +72,10 @@ class Nic:
         self.stats = NicStats()
         self.n_queues = n_queues
         self.steering = steering
+        #: Fault-injection state: a hung NIC keeps DMAing (rings fill and
+        #: overrun) but raises no new interrupts until the driver watchdog
+        #: resets it (see :meth:`repro.driver.e1000.E1000Driver.reset`).
+        self.hung = False
         #: Lifecycle tracer captured at construction (None when tracing is
         #: off — the hot path pays one attribute load and a None check).
         self._tr = active_tracer()
@@ -89,7 +97,9 @@ class Nic:
             elif i == 0:
                 q_lro = lro
             else:
-                q_lro = LroEngine(limit=lro.limit, sessions=lro.max_sessions)
+                q_lro = LroEngine(
+                    limit=lro.limit, sessions=lro.max_sessions, governor=lro.governor
+                )
             self.queues.append(RxQueue(self, i, ring_size, lro=q_lro))
 
         self.tx_link: Optional[Link] = None

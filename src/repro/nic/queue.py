@@ -71,11 +71,17 @@ class RxQueue:
             self._ewma_interarrival = 0.9 * self._ewma_interarrival + 0.1 * interarrival
         self._ewma_frame_bytes = 0.9 * self._ewma_frame_bytes + 0.1 * pkt.wire_len
         if nic.checksum_offload:
-            # The hardware validated the TCP checksum during DMA.  In
-            # byte-accurate runs this could be verified against the real
-            # checksum; the simulation trusts its own senders.
-            pkt.csum_verified = True
-            stats.rx_csum_offloaded += 1
+            if pkt.corrupted:
+                # The hardware checksum caught the in-flight damage: the
+                # frame is posted with verification *failed* and the driver
+                # discards it on drain (descriptor status bit, as on e1000).
+                stats.rx_csum_errors += 1
+            else:
+                # The hardware validated the TCP checksum during DMA.  In
+                # byte-accurate runs this could be verified against the real
+                # checksum; the simulation trusts its own senders.
+                pkt.csum_verified = True
+                stats.rx_csum_offloaded += 1
         tr = nic._tr
         if self.lro is not None:
             for out in self.lro.accept(pkt):
@@ -101,6 +107,8 @@ class RxQueue:
         if self._irq_pending:
             return  # an interrupt is already pending
         nic = self.nic
+        if nic.hung:
+            return  # fault injection: a hung NIC raises no new interrupts
         # Bulk vs latency classification is byte-rate aware (like e1000 AIM's
         # throughput classes): large frames at a low packet rate still count
         # as bulk traffic worth moderating.

@@ -214,6 +214,7 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
         registry.gauge(f"{base}.tx_frames", lambda s=stats: s.tx_frames)
         registry.gauge(f"{base}.interrupts", lambda s=stats: s.interrupts)
         registry.gauge(f"{base}.rx_csum_offloaded", lambda s=stats: s.rx_csum_offloaded)
+        registry.gauge(f"{base}.rx_csum_errors", lambda s=stats: s.rx_csum_errors)
         registry.gauge(
             f"{base}.rx_dropped_ring_full", lambda s=stats: s.rx_dropped_ring_full
         )
@@ -249,6 +250,13 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
         registry.gauge(f"{base}.tx_packets", lambda s=stats: s.tx_packets)
         registry.gauge(f"{base}.tx_templates", lambda s=stats: s.tx_templates)
         registry.gauge(f"{base}.tx_expanded_acks", lambda s=stats: s.tx_expanded_acks)
+        registry.gauge(f"{base}.rx_csum_discards", lambda s=stats: s.rx_csum_discards)
+        registry.gauge(
+            f"{base}.rx_dropped_no_buffer", lambda s=stats: s.rx_dropped_no_buffer
+        )
+        registry.gauge(f"{base}.rx_dropped_reset", lambda s=stats: s.rx_dropped_reset)
+        registry.gauge(f"{base}.watchdog_ticks", lambda s=stats: s.watchdog_ticks)
+        registry.gauge(f"{base}.resets", lambda s=stats: s.resets)
 
     for aggr in _aggregators_of(machine):
         stats = aggr.stats
@@ -265,6 +273,37 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
         registry.gauge(
             f"{base}.peak_table_occupancy", lambda s=stats: s.peak_table_occupancy
         )
+        registry.gauge(f"{base}.flush_degrade", lambda s=stats: s.flush_degrade)
+        registry.gauge(f"{base}.dropped_no_buffer", lambda s=stats: s.dropped_no_buffer)
+        registry.gauge(f"{base}.packets_degraded", lambda s=stats: s.packets_degraded)
+
+    for governor in _governors_of(machine):
+        stats = governor.stats
+        base = f"governor.{governor.name}"
+        registry.gauge(f"{base}.degraded", lambda g=governor: int(g.degraded))
+        registry.gauge(f"{base}.disorder_rate", lambda g=governor: g.rate)
+        registry.gauge(f"{base}.enters", lambda s=stats: s.enters)
+        registry.gauge(f"{base}.exits", lambda s=stats: s.exits)
+        registry.gauge(f"{base}.disorder_events", lambda s=stats: s.disorder_events)
+        registry.gauge(f"{base}.packets_degraded", lambda s=stats: s.packets_degraded)
+
+    for link in getattr(machine, "links", ()):
+        stats = link.stats
+        base = f"link.{link.name}"
+        registry.gauge(f"{base}.frames_sent", lambda s=stats: s.frames_sent)
+        registry.gauge(f"{base}.frames_delivered", lambda s=stats: s.frames_delivered)
+        registry.gauge(f"{base}.frames_dropped", lambda s=stats: s.frames_dropped)
+        registry.gauge(f"{base}.frames_reordered", lambda s=stats: s.frames_reordered)
+        registry.gauge(f"{base}.frames_duplicated", lambda s=stats: s.frames_duplicated)
+        registry.gauge(f"{base}.frames_corrupted", lambda s=stats: s.frames_corrupted)
+        registry.gauge(f"{base}.up", lambda l=link: int(l.up))
+
+    injector = getattr(machine, "fault_injector", None)
+    if injector is not None:
+        stats = injector.stats
+        registry.gauge("faults.begun", lambda s=stats: s.faults_begun)
+        registry.gauge("faults.ended", lambda s=stats: s.faults_ended)
+        registry.gauge("faults.active", lambda s=stats: s.active)
 
     cpus = getattr(machine, "cpus", None) or [machine.cpu]
     for index, cpu in enumerate(cpus):
@@ -283,6 +322,13 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
             "kernel.bytes_received",
             lambda k=kernel: sum(s.bytes_received for s in k.sockets.values()),
         )
+        if hasattr(kernel, "rx_csum_drops"):
+            registry.gauge("kernel.rx_csum_drops", lambda k=kernel: k.rx_csum_drops)
+        if hasattr(kernel, "ack_template_alloc_fails"):
+            registry.gauge(
+                "kernel.ack_template_alloc_fails",
+                lambda k=kernel: k.ack_template_alloc_fails,
+            )
 
 
 def bind_connections(registry: MetricsRegistry, connections: Iterable) -> None:
@@ -297,6 +343,16 @@ def bind_connections(registry: MetricsRegistry, connections: Iterable) -> None:
         registry.gauge(f"{base}.ssthresh", lambda c=conn: c.reno.ssthresh)
         registry.gauge(f"{base}.rcv_nxt", lambda c=conn: c.rcv_nxt)
         registry.gauge(f"{base}.retransmits", lambda c=conn: c.stats.retransmits)
+
+
+def _governors_of(machine) -> List[object]:
+    """Every degradation governor a machine owns (single or per-queue)."""
+    found = []
+    governor = getattr(machine, "governor", None)
+    if governor is not None:
+        found.append(governor)
+    found.extend(getattr(machine, "governors", ()))
+    return found
 
 
 def _aggregators_of(machine) -> List[object]:

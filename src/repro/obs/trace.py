@@ -60,11 +60,17 @@ class Stage:
     ACK_EXPAND = "driver.ack.expand"     # driver expands a template (§4.2)
     XCPU_BOUNCE = "xcpu.bounce"          # demux touched remote-CPU state
     XCPU_WAKEUP = "xcpu.wakeup"          # IPI + remote wakeup to the app CPU
+    FAULT_BEGIN = "fault.begin"          # an injected fault window opens
+    FAULT_END = "fault.end"              # an injected fault window closes
+    DRIVER_RESET = "driver.reset"        # watchdog reset: drain + reinit NIC
+    AGGR_DEGRADE = "softirq.aggr.degrade"   # governor disables coalescing
+    AGGR_RESTORE = "softirq.aggr.restore"   # governor re-enables coalescing
 
     ALL = (
         NIC_RX, LRO_MERGE, LRO_CLOSE, RING_POST, RING_DROP, DRIVER_ISR,
         SOFTIRQ, AGGR_RUN, AGGR_MERGE, AGGR_DELIVER, TCP_RX, SOCK_READ,
         ACK_TX, ACK_TEMPLATE, ACK_EXPAND, XCPU_BOUNCE, XCPU_WAKEUP,
+        FAULT_BEGIN, FAULT_END, DRIVER_RESET, AGGR_DEGRADE, AGGR_RESTORE,
     )
 
 

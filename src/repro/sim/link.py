@@ -6,10 +6,21 @@ wire including per-frame overhead (preamble, CRC, inter-frame gap), which is
 what bounds the paper's "saturate five Gigabit links" numbers: 1500-byte MTU
 frames carry at most ~94% of the line rate as TCP payload.
 
-Optional impairments (drop, reorder, and duplicate probabilities) support
-the correctness experiments: aggregation must be bypassed for out-of-order
-or lost-then-retransmitted segments, and duplicated frames must not be
-counted twice by the receiver's sequence tracking.
+Optional impairments support the correctness and resilience experiments:
+
+* independent per-frame ``drop_prob`` / ``reorder_prob`` / ``dup_prob``
+  (aggregation must be bypassed for out-of-order or lost-then-retransmitted
+  segments, and duplicated frames must not be counted twice),
+* *bursty, correlated* loss via a two-state :class:`GilbertElliott` model
+  (``loss_model``) — the storm generator of the fault-injection subsystem,
+* frame corruption (``corrupt_prob``): the frame is delivered but marked
+  ``corrupted`` so receiver-side checksum verification must reject it,
+* administrative link state (``up``): a downed link black-holes frames,
+  modelling a cable pull / switch-port flap.
+
+Every frame is accounted for: ``frames_sent + frames_duplicated ==
+frames_delivered + frames_dropped + in_flight`` at all times, which the
+runtime sanitizer audits (packet conservation under combined impairments).
 """
 
 from __future__ import annotations
@@ -25,6 +36,60 @@ from repro.sim.rng import SeededRng
 ETHERNET_WIRE_OVERHEAD = 24
 
 
+class GilbertElliott:
+    """Two-state Markov loss model for bursty, correlated loss.
+
+    The classic Gilbert–Elliott channel: a *good* state with loss
+    probability ``loss_good`` (usually 0) and a *bad* state with loss
+    probability ``loss_bad`` (usually near 1), with per-frame transition
+    probabilities between them.  Mean burst length is ``1 / p_bad_good``
+    frames; stationary loss rate is
+    ``p_gb / (p_gb + p_bg) * loss_bad + p_bg / (p_gb + p_bg) * loss_good``.
+
+    Exactly one RNG draw per frame for the state transition plus one for
+    the loss decision keeps seeded runs deterministic and replayable.
+    """
+
+    __slots__ = ("rng", "p_good_bad", "p_bad_good", "loss_good", "loss_bad",
+                 "in_bad", "transitions", "losses_in_bad")
+
+    def __init__(
+        self,
+        rng: SeededRng,
+        p_good_bad: float = 0.01,
+        p_bad_good: float = 0.25,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.9,
+    ):
+        if not (0.0 <= p_good_bad <= 1.0 and 0.0 <= p_bad_good <= 1.0):
+            raise ValueError("transition probabilities must be in [0, 1]")
+        self.rng = rng
+        self.p_good_bad = p_good_bad
+        self.p_bad_good = p_bad_good
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.in_bad = False
+        self.transitions = 0
+        self.losses_in_bad = 0
+
+    def loses(self) -> bool:
+        """Advance the channel state one frame; True if the frame is lost."""
+        rng = self.rng
+        if self.in_bad:
+            if rng.random() < self.p_bad_good:
+                self.in_bad = False
+                self.transitions += 1
+        elif rng.random() < self.p_good_bad:
+            self.in_bad = True
+            self.transitions += 1
+        p_loss = self.loss_bad if self.in_bad else self.loss_good
+        if p_loss > 0.0 and rng.random() < p_loss:
+            if self.in_bad:
+                self.losses_in_bad += 1
+            return True
+        return False
+
+
 @dataclass
 class LinkStats:
     """Counters accumulated by a link over its lifetime."""
@@ -34,6 +99,10 @@ class LinkStats:
     frames_dropped: int = 0
     frames_reordered: int = 0
     frames_duplicated: int = 0
+    frames_corrupted: int = 0
+    #: Breakdown of ``frames_dropped`` by cause (also counted in the total).
+    frames_dropped_burst: int = 0
+    frames_dropped_link_down: int = 0
     bytes_sent: int = 0
     wire_bytes_sent: int = 0
 
@@ -51,14 +120,20 @@ class Link:
         One-way propagation delay in seconds.
     sink:
         Callback invoked as ``sink(frame)`` when a frame arrives.
-    drop_prob / reorder_prob / dup_prob:
+    drop_prob / reorder_prob / dup_prob / corrupt_prob:
         Per-frame impairment probabilities (default 0 — a clean LAN).
         ``dup_prob`` delivers the frame twice (switch flooding / spurious
         retransmit on the wire), the copy arriving just after the original.
+        ``corrupt_prob`` marks the frame ``corrupted`` in flight; the
+        receiver's checksum verification is expected to discard it.
     rng:
         Random stream for impairments; required if any probability > 0.
     name:
         Label used in reprs and stats dumps.
+
+    The fault injector may additionally set :attr:`loss_model` (a
+    :class:`GilbertElliott` instance, consulted before the independent
+    ``drop_prob``) and flip :attr:`up` for link-flap windows.
     """
 
     def __init__(
@@ -71,10 +146,11 @@ class Link:
         reorder_prob: float = 0.0,
         reorder_delay_s: float = 100e-6,
         dup_prob: float = 0.0,
+        corrupt_prob: float = 0.0,
         rng: Optional[SeededRng] = None,
         name: str = "link",
     ):
-        if (drop_prob > 0 or reorder_prob > 0 or dup_prob > 0) and rng is None:
+        if (drop_prob > 0 or reorder_prob > 0 or dup_prob > 0 or corrupt_prob > 0) and rng is None:
             raise ValueError("impaired links need an rng")
         self.sim = sim
         self.rate_bps = rate_bps
@@ -84,9 +160,17 @@ class Link:
         self.reorder_prob = reorder_prob
         self.reorder_delay_s = reorder_delay_s
         self.dup_prob = dup_prob
+        self.corrupt_prob = corrupt_prob
         self.rng = rng
         self.name = name
         self.stats = LinkStats()
+        #: Administrative state: False black-holes every frame (link flap).
+        self.up = True
+        #: Optional bursty-loss channel (set by the fault injector).
+        self.loss_model: Optional[GilbertElliott] = None
+        #: Frames scheduled for delivery but not yet handed to the sink;
+        #: part of the sanitizer's packet-conservation audit.
+        self.in_flight = 0
         # Time at which the transmitter becomes free; frames queue FIFO.
         self._tx_free_at = 0.0
 
@@ -130,26 +214,49 @@ class Link:
         stats.bytes_sent += wire - ETHERNET_WIRE_OVERHEAD
         stats.wire_bytes_sent += wire
 
+        if not self.up:
+            # The transmitter still serializes (the sender cannot tell), but
+            # nothing reaches the far end while the link is down.
+            stats.frames_dropped += 1
+            stats.frames_dropped_link_down += 1
+            return done
+        loss_model = self.loss_model
+        if loss_model is not None and loss_model.loses():
+            stats.frames_dropped += 1
+            stats.frames_dropped_burst += 1
+            return done
         if self.drop_prob > 0 and self.rng.random() < self.drop_prob:
             stats.frames_dropped += 1
             return done
+
+        if self.corrupt_prob > 0 and self.rng.random() < self.corrupt_prob:
+            stats.frames_corrupted += 1
+            try:
+                frame.corrupted = True
+            except AttributeError:
+                pass  # opaque test frames: corruption is stats-only
 
         arrival = done + self.delay_s
         if self.reorder_prob > 0 and self.rng.random() < self.reorder_prob:
             arrival += self.reorder_delay_s
             self.stats.frames_reordered += 1
 
+        self.in_flight += 1
         self.sim.call_at(arrival, self._deliver, frame)
         if self.dup_prob > 0 and self.rng.random() < self.dup_prob:
-            # The duplicate arrives at the same instant; event-heap insertion
-            # order keeps the original strictly first.  Deliver an independent
-            # copy — the receive path mutates (and frees) what it is handed.
+            # Deliver an independent copy with its *own* delivery metadata:
+            # the duplicate takes the un-reordered arrival time, so a
+            # reorder-delayed original can never alias the duplicate's
+            # delivery (and the receive path, which mutates and frees what
+            # it is handed, never sees the same object twice).
             stats.frames_duplicated += 1
             dup = frame.copy() if hasattr(frame, "copy") else frame
-            self.sim.call_at(arrival, self._deliver, dup)
+            self.in_flight += 1
+            self.sim.call_at(done + self.delay_s, self._deliver, dup)
         return done
 
     def _deliver(self, frame: Any) -> None:
+        self.in_flight -= 1
         self.stats.frames_delivered += 1
         if self.sink is not None:
             self.sink(frame)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ImpairmentConfig
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.host.machine import ReceiverMachine
@@ -22,6 +24,7 @@ from repro.obs import runtime as obs_runtime
 from repro.obs.metrics import bind_connections, bind_machine
 from repro.obs.sampler import bind_standard_probes
 from repro.sim.engine import Simulator
+from repro.sim.rng import SeededRng
 from repro.tcp.connection import TcpConfig
 from repro.tcp.source import InfiniteSource
 from repro.workloads.results import ThroughputResult
@@ -42,16 +45,39 @@ def build_stream_rig(
     config: SystemConfig,
     opt: OptimizationConfig,
     n_connections: Optional[int] = None,
+    impairments: Optional[ImpairmentConfig] = None,
+    materialize: bool = False,
 ):
-    """Assemble sim + server + clients + connections; returns them unstarted."""
+    """Assemble sim + server + clients + connections; returns them unstarted.
+
+    ``impairments`` optionally applies steady-state wire impairments
+    (drop/reorder/dup probabilities, per-link seeded RNG streams) and arms a
+    deterministic :class:`~repro.faults.plan.FaultPlan` against the built
+    machine (stashed as ``machine.fault_injector`` for post-run analysis).
+
+    ``materialize`` makes source *j* carry its real deterministic byte
+    pattern (seed ``j``) so receivers can verify payload content end to end;
+    throughput runs keep the default length-only segments.
+    """
     sim = Simulator()
     machine = make_receiver(sim, config, opt, ip=ip_from_str("10.0.0.1"))
     machine.listen(SERVER_PORT)
 
+    imp = impairments
+    probs_active = imp is not None and (imp.drop > 0 or imp.reorder > 0 or imp.dup > 0)
     clients: List[ClientHost] = []
     for i in range(config.n_nics):
         client = ClientHost(sim, ip_from_str(f"10.0.1.{i + 1}"), name=f"client{i}", iss_base=1000 + i)
-        machine.add_client(client)
+        if probs_active:
+            machine.add_client(
+                client,
+                drop_prob=imp.drop,
+                reorder_prob=imp.reorder,
+                dup_prob=imp.dup,
+                rng=SeededRng(imp.seed, f"link{i}"),
+            )
+        else:
+            machine.add_client(client)
         clients.append(client)
 
     if n_connections is None:
@@ -59,10 +85,15 @@ def build_stream_rig(
     sender_sockets = []
     for j in range(n_connections):
         client = clients[j % len(clients)]
-        tcp_cfg = TcpConfig(mss=config.mss)
+        tcp_cfg = TcpConfig(mss=config.mss, materialize_payload=materialize)
         sock = client.connect(machine.ip, SERVER_PORT, config=tcp_cfg)
-        sock.conn.attach_source(InfiniteSource(materialize=False, seed=j))
+        sock.conn.attach_source(InfiniteSource(materialize=materialize, seed=j))
         sender_sockets.append(sock)
+
+    if imp is not None and imp.plan is not None:
+        injector = FaultInjector(sim, machine, imp.plan)
+        injector.arm()
+        machine.fault_injector = injector
     return sim, machine, clients, sender_sockets
 
 
@@ -92,12 +123,13 @@ def run_stream_experiment(
     n_connections: Optional[int] = None,
     duration: float = 0.30,
     warmup: float = 0.15,
+    impairments: Optional[ImpairmentConfig] = None,
 ) -> ThroughputResult:
     """Run the streaming benchmark and measure over [warmup, warmup+duration]."""
     label = f"{config.name}/{'opt' if opt.receive_aggregation else 'base'}"
     with obs_runtime.observe(label) as obs:
         result = _run_stream_observed(
-            config, opt, n_connections, duration, warmup, obs
+            config, opt, n_connections, duration, warmup, obs, impairments
         )
         if obs is not None:
             obs.meta.update(system=result.system, optimized=result.optimized)
@@ -113,8 +145,11 @@ def _run_stream_observed(
     duration: float,
     warmup: float,
     obs,
+    impairments: Optional[ImpairmentConfig] = None,
 ) -> ThroughputResult:
-    sim, machine, clients, senders = build_stream_rig(config, opt, n_connections)
+    sim, machine, clients, senders = build_stream_rig(
+        config, opt, n_connections, impairments=impairments
+    )
     bind_observation(obs, sim, machine, senders, horizon=warmup + duration)
 
     sim.run(until=warmup)

@@ -19,6 +19,7 @@ from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
 from repro.cpu.view import CpuView
 from repro.driver.e1000 import E1000Driver
+from repro.faults.degradation import CoalesceGovernor
 from repro.host.client import ClientHost
 from repro.host.configs import SystemConfig
 from repro.host.kernel import Kernel
@@ -84,6 +85,11 @@ class XenReceiverMachine:
             guest_pool=self.guest_pool,
             name=f"{name}-dom0",
         )
+        #: Graceful-degradation governor (aggregation runs in the driver
+        #: domain, so its governor lives there too).
+        self.governor: Optional[CoalesceGovernor] = None
+        if opt.auto_degrade and opt.receive_aggregation:
+            self.governor = CoalesceGovernor(name=f"{name}-governor")
         if opt.receive_aggregation:
             self.driver_domain.aggregator = AggregationEngine(
                 cpu=self.dd_cpu,
@@ -91,6 +97,7 @@ class XenReceiverMachine:
                 opt=opt,
                 pool=self.dd_pool,
                 deliver=self.driver_domain.forward_rx,
+                governor=self.governor,
                 name=f"{name}-aggr",
             )
 
@@ -98,6 +105,9 @@ class XenReceiverMachine:
         self.drivers: List[E1000Driver] = []
         self.tx_paths: List[GuestTxPath] = []
         self.clients: List[ClientHost] = []
+        #: Inbound (client -> NIC) links in attach order (fault injector /
+        #: sanitizer link-conservation audit).
+        self.links: List[Link] = []
 
     # ------------------------------------------------------------------
     def add_client(
@@ -150,6 +160,7 @@ class XenReceiverMachine:
         self.drivers.append(driver)
         self.tx_paths.append(tx_path)
         self.clients.append(client)
+        self.links.append(inbound)
         return nic
 
     # ------------------------------------------------------------------

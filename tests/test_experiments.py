@@ -31,7 +31,7 @@ def test_registry_complete():
         "table1", "ablation_limit1",
         "extension_hw_lro", "extension_jumbo", "extension_itr",
         "extension_bidirectional", "extension_load_sensitivity", "extension_tso",
-        "extension_rss_scaling",
+        "extension_rss_scaling", "extension_resilience",
     }
     assert set(REGISTRY) == expected
 

@@ -1,0 +1,409 @@
+"""Fault-injection subsystem: plans, the injector, recovery, degradation.
+
+Covers the resilience acceptance criteria end to end:
+
+* fault plans are plain data — JSON round-trippable, validated, hashable;
+* every fault kind injects at its scheduled window, restores the targeted
+  state afterwards, and the rig *recovers* (goodput resumes, streams stay
+  intact);
+* the driver watchdog recovers a hung NIC without leaking or
+  double-counting a single packet;
+* the coalescing governor degrades/restores with real hysteresis, pays off
+  under the hardware-LRO reorder pathology, and leaves the clean-wire fast
+  path bit-identical;
+* armed plans replay bit-identically run after run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+
+import pytest
+
+from repro.core.config import OptimizationConfig
+from repro.faults.degradation import CoalesceGovernor
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ImpairmentConfig,
+    sample_plan,
+    storm_plan,
+)
+from repro.host.configs import linux_up_config
+from repro.tcp.seqmath import seq_diff
+from repro.tcp.source import InfiniteSource
+from repro.workloads.stream import SERVER_PORT, build_stream_rig, run_stream_experiment
+
+import sys
+
+sys.path.insert(0, "tests")
+from conftest import fast_config  # noqa: E402
+
+
+def _server_bytes(machine) -> int:
+    return sum(s.bytes_received for s in machine.kernel.sockets.values())
+
+
+def _flat_drivers(machine):
+    flat = []
+    for entry in machine.drivers:
+        flat.extend(entry if isinstance(entry, (list, tuple)) else [entry])
+    return flat
+
+
+def _assert_streams_intact(machine, senders) -> None:
+    """Length-accounting form of §3.2 equivalence (byte-exact content is
+    covered by the materialized tests below)."""
+    kernel = machine.kernel
+    for sender in senders:
+        key = sender.conn.key.reverse()
+        sock, conn = kernel.sockets[key], kernel.connections[key]
+        assert sock.bytes_received == seq_diff(conn.rcv_nxt, conn.irs) - 1
+        assert seq_diff(sender.conn.snd_una, sender.conn.iss) - 1 <= \
+            seq_diff(conn.rcv_nxt, conn.irs) - 1
+
+
+# ----------------------------------------------------------------------
+# plans: validation, JSON, hashing
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_json_round_trip(self):
+        plan = sample_plan()
+        doc = json.loads(json.dumps(plan.to_json()))
+        assert FaultPlan.from_json(doc) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "plan.json")
+        plan = sample_plan()
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("cosmic_ray", start=0.0, duration=0.1)
+
+    @pytest.mark.parametrize("start,duration", [(-0.1, 0.1), (0.0, 0.0), (0.0, -1.0)])
+    def test_bad_window_rejected(self, start, duration):
+        with pytest.raises(ValueError, match="fault window"):
+            FaultSpec("corrupt", start=start, duration=duration)
+
+    @pytest.mark.parametrize("intensity", [-0.1, 1.5])
+    def test_bad_intensity_rejected(self, intensity):
+        with pytest.raises(ValueError, match="intensity"):
+            FaultSpec("corrupt", start=0.0, duration=0.1, intensity=intensity)
+
+    @pytest.mark.parametrize("field,value", [("drop", 1.0), ("reorder", -0.1), ("dup", 2.0)])
+    def test_bad_probability_rejected(self, field, value):
+        with pytest.raises(ValueError, match="probability"):
+            ImpairmentConfig(**{field: value})
+
+    def test_horizon(self):
+        assert FaultPlan().horizon == 0.0
+        assert storm_plan("corrupt", 0.2, start=0.02, duration=0.05).horizon == \
+            pytest.approx(0.07)
+
+    def test_targeting(self):
+        spec = FaultSpec("link_flap", start=0.0, duration=0.1, target="1")
+        assert not spec.hits(0) and spec.hits(1)
+        assert FaultSpec("link_flap", start=0.0, duration=0.1).hits(7)
+
+    def test_plans_are_picklable(self):
+        plan = FaultPlan(specs=[FaultSpec("corrupt", start=0.0, duration=0.1)])
+        assert isinstance(plan.specs, tuple)  # list input normalized
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_any_active(self):
+        assert not ImpairmentConfig().any_active
+        assert ImpairmentConfig(drop=0.1).any_active
+        assert ImpairmentConfig(plan=sample_plan()).any_active
+
+
+# ----------------------------------------------------------------------
+# every fault kind, end to end: inject -> restore -> recover
+# ----------------------------------------------------------------------
+_INTENSITY = {
+    "loss_burst": 0.3,
+    "corrupt": 0.3,
+    "reorder_storm": 0.5,
+    "dup_storm": 0.3,
+    "ring_storm": 0.9,
+    "pool_exhaust": 0.9,
+    "link_flap": 1.0,
+    "nic_hang": 1.0,
+}
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_fault_kind_injects_restores_and_recovers(kind):
+    plan = storm_plan(kind, _INTENSITY[kind], start=0.02, duration=0.02)
+    sim, machine, _clients, senders = build_stream_rig(
+        fast_config(), OptimizationConfig.optimized(),
+        impairments=ImpairmentConfig(plan=plan),
+    )
+    ring_caps = [q.ring.capacity for nic in machine.nics for q in nic.queues]
+    pool_cap = machine.pool.capacity
+
+    sim.run(until=0.05)  # past the fault window
+    bytes_mid = _server_bytes(machine)
+    injector = machine.fault_injector
+    assert injector.stats.faults_begun == 1
+    assert injector.stats.faults_ended == 1
+    assert injector.stats.active == 0
+    assert injector.windows[0].kind == kind
+
+    # Injected state fully restored.
+    for link in machine.links:
+        assert link.up
+        assert link.loss_model is None
+        for attr in ("drop_prob", "reorder_prob", "dup_prob", "corrupt_prob"):
+            assert getattr(link, attr) == 0.0
+    assert [q.ring.capacity for nic in machine.nics for q in nic.queues] == ring_caps
+    assert machine.pool.capacity == pool_cap
+    assert not any(nic.hung for nic in machine.nics)
+
+    # The rig recovers: goodput resumes after the window (run past the
+    # 200 ms minimum RTO so even timeout-driven recovery completes).
+    sim.run(until=0.35)
+    assert _server_bytes(machine) > bytes_mid
+    _assert_streams_intact(machine, senders)
+
+    # Wire-frame conservation held through the storm.
+    for link in machine.links:
+        st = link.stats
+        assert st.frames_sent + st.frames_duplicated == \
+            st.frames_delivered + st.frames_dropped + link.in_flight
+        assert link.in_flight >= 0
+
+
+def test_target_selects_a_single_link():
+    plan = FaultPlan(specs=(
+        FaultSpec("link_flap", start=0.01, duration=0.01, target="1"),
+    ))
+    sim, machine, _clients, _senders = build_stream_rig(
+        fast_config(), OptimizationConfig.optimized(),
+        impairments=ImpairmentConfig(plan=plan),
+    )
+    sim.run(until=0.015)
+    assert machine.links[0].up
+    assert not machine.links[1].up
+    sim.run(until=0.03)
+    assert machine.links[1].up
+    assert machine.links[1].stats.frames_dropped_link_down > 0
+    assert machine.links[0].stats.frames_dropped_link_down == 0
+
+
+def test_arm_is_idempotent():
+    plan = storm_plan("corrupt", 0.2, start=0.01, duration=0.01)
+    sim, machine, _clients, _senders = build_stream_rig(
+        fast_config(), OptimizationConfig.optimized(),
+        impairments=ImpairmentConfig(plan=plan),
+    )
+    machine.fault_injector.arm()  # second arm must not double-schedule
+    sim.run(until=0.03)
+    assert machine.fault_injector.stats.faults_begun == 1
+    assert machine.fault_injector.stats.faults_ended == 1
+
+
+# ----------------------------------------------------------------------
+# driver watchdog: hung NIC detected, reset conserves every packet
+# ----------------------------------------------------------------------
+def test_watchdog_reset_recovers_hung_nic_without_leaking():
+    plan = storm_plan("nic_hang", 1.0, start=0.02, duration=0.02)
+    sim, machine, _clients, senders = build_stream_rig(
+        fast_config(), OptimizationConfig.optimized(),
+        impairments=ImpairmentConfig(plan=plan),
+    )
+    sim.run(until=0.35)
+
+    drivers = _flat_drivers(machine)
+    assert sum(d.stats.resets for d in drivers) >= 1
+    assert all(d.stats.watchdog_ticks > 0 for d in drivers)
+    assert not any(nic.hung for nic in machine.nics)
+    for driver in drivers:
+        ring = driver.queue.ring
+        # Ring conservation: nothing materialized, nothing vanished.
+        assert ring.posted == ring.drained + len(ring)
+        # Reset conservation: every drained descriptor was either handed to
+        # the stack or flushed by the reset — never both, never neither.
+        assert ring.drained == driver.stats.rx_packets + driver.stats.rx_dropped_reset
+
+    # And the connections came back.
+    assert _server_bytes(machine) > 0
+    _assert_streams_intact(machine, senders)
+
+
+# ----------------------------------------------------------------------
+# degradation governor: hysteresis unit behavior
+# ----------------------------------------------------------------------
+class TestCoalesceGovernor:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hysteresis"):
+            CoalesceGovernor(enter_threshold=0.1, exit_threshold=0.2)
+        with pytest.raises(ValueError, match="alpha"):
+            CoalesceGovernor(alpha=0.0)
+
+    def test_enters_only_after_warmup(self):
+        gov = CoalesceGovernor()
+        now = 0.0
+        for _ in range(gov.min_packets - 1):
+            now += 1e-5
+            assert not gov.observe(True, now)  # rate high, warmup gate holds
+        assert gov.rate > gov.enter_threshold
+        assert gov.stats.enters == 0
+        now += 1e-5
+        assert gov.observe(True, now)  # warmup satisfied -> degrade
+        assert gov.degraded
+        assert gov.stats.enters == 1
+
+    def test_exit_requires_low_rate_and_quiet_period(self):
+        gov = CoalesceGovernor()
+        now = 0.0
+        for _ in range(gov.min_packets):
+            now += 1e-5
+            gov.observe(True, now)
+        assert gov.degraded
+        last_disorder = now
+        # Clean packets arrive fast: the EWMA decays below exit_threshold
+        # long before quiet_period_s elapses -> must stay degraded.
+        while gov.rate >= gov.exit_threshold:
+            now += 1e-5
+            assert gov.observe(False, now)
+        assert now - last_disorder < gov.quiet_period_s
+        # Still inside the quiet window: no exit.
+        assert gov.observe(False, last_disorder + gov.quiet_period_s - 1e-6)
+        # Quiet period over AND rate low: restore.
+        assert not gov.observe(False, last_disorder + gov.quiet_period_s + 1e-6)
+        assert not gov.degraded
+        assert gov.stats.exits == 1
+
+    def test_no_flapping_inside_a_storm(self):
+        """Alternating disorder holds the EWMA between the thresholds:
+        exactly one enter, zero exits — the hysteresis gap absorbs it."""
+        gov = CoalesceGovernor()
+        now = 0.0
+        for i in range(2000):
+            now += 1e-5
+            gov.observe(i % 2 == 0, now)
+        assert gov.stats.enters == 1
+        assert gov.stats.exits == 0
+        assert gov.degraded
+
+    def test_reenters_on_second_storm(self):
+        gov = CoalesceGovernor()
+        now = 0.0
+        for _ in range(gov.min_packets):
+            now += 1e-5
+            gov.observe(True, now)
+        while gov.degraded:
+            now += 5e-4
+            gov.observe(False, now)
+        for _ in range(2 * gov.min_packets):
+            now += 1e-5
+            gov.observe(True, now)
+        assert gov.stats.enters == 2
+        assert gov.stats.exits == 1
+        assert gov.degraded
+
+
+# ----------------------------------------------------------------------
+# acceptance criterion: degradation demonstrably helps, clean wire unchanged
+# ----------------------------------------------------------------------
+def test_degradation_beats_forced_coalescing_under_lro_reorder():
+    """Hardware LRO under a sustained reorder storm is the Wu et al.
+    pathology: sessions park in-flight packets, so every out-of-order
+    arrival becomes a burst plus late dupACKs.  The governor's auto-disable
+    must win over coalescing forced on (measured margin is ~6x; assert a
+    conservative 1.5x so the test stays robust to cost-model tuning)."""
+    config = dataclasses.replace(linux_up_config(), nic_lro=True, name="Linux UP/LRO")
+    imp = ImpairmentConfig(reorder=0.2, seed=971)
+    opt = run_stream_experiment(
+        config, OptimizationConfig.optimized(),
+        duration=0.05, warmup=0.05, impairments=imp,
+    )
+    resil = run_stream_experiment(
+        config, OptimizationConfig.resilient(),
+        duration=0.05, warmup=0.05, impairments=imp,
+    )
+    assert resil.throughput_mbps >= 1.5 * opt.throughput_mbps
+
+
+@pytest.mark.parametrize("lro", [False, True], ids=["softagg", "hw-lro"])
+def test_clean_wire_resilient_is_bit_identical_to_optimized(lro):
+    """With no storm the governor never trips: the resilient build must be
+    indistinguishable from the optimized one — same events, same bytes."""
+    config = fast_config()
+    if lro:
+        config = dataclasses.replace(config, nic_lro=True)
+    opt = run_stream_experiment(
+        config, OptimizationConfig.optimized(), duration=0.03, warmup=0.02)
+    resil = run_stream_experiment(
+        config, OptimizationConfig.resilient(), duration=0.03, warmup=0.02)
+    assert resil.events_fired == opt.events_fired
+    assert resil.throughput_mbps == opt.throughput_mbps
+    assert resil.bytes_received == opt.bytes_received
+
+
+# ----------------------------------------------------------------------
+# byte-exact stream content through a storm (materialized payloads)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind,intensity", [("corrupt", 0.3), ("loss_burst", 0.3)])
+def test_delivered_bytes_equal_sent_bytes_through_storm(kind, intensity):
+    plan = storm_plan(kind, intensity, start=0.005, duration=0.01)
+    sim, machine, _clients, senders = build_stream_rig(
+        fast_config(), OptimizationConfig.optimized(),
+        impairments=ImpairmentConfig(plan=plan), materialize=True,
+    )
+    received = {}
+
+    def on_accept(sock):
+        chunks = received.setdefault(sock.conn.key, [])
+        sock.on_data_cb = lambda _s, payload, _n: chunks.append(payload)
+
+    machine.listen(SERVER_PORT, on_accept=on_accept)  # install collectors
+    sim.run(until=0.04)
+
+    for j, sender in enumerate(senders):
+        key = sender.conn.key.reverse()
+        got = b"".join(received[key])
+        sock = machine.kernel.sockets[key]
+        assert len(got) == sock.bytes_received > 0
+        # Source j sends pattern(seed=j); the delivered prefix must match
+        # byte for byte — no corruption leaked past the checksum, no
+        # retransmit delivered twice.
+        assert got == InfiniteSource.pattern(0, len(got), seed=j)
+
+
+# ----------------------------------------------------------------------
+# determinism: an armed plan replays bit-identically
+# ----------------------------------------------------------------------
+def test_armed_plan_replays_bit_identically():
+    def one_run():
+        imp = ImpairmentConfig(drop=0.01, reorder=0.02, dup=0.01, plan=sample_plan())
+        sim, machine, _clients, senders = build_stream_rig(
+            fast_config(), OptimizationConfig.optimized(), impairments=imp)
+        sim.run(until=0.18)
+        link = machine.links[0].stats
+        return (
+            sim.events_fired,
+            _server_bytes(machine),
+            sum(s.conn.stats.retransmits for s in senders),
+            link.frames_sent, link.frames_dropped, link.frames_corrupted,
+            link.frames_reordered, link.frames_duplicated,
+            link.frames_dropped_burst, link.frames_dropped_link_down,
+        )
+
+    assert one_run() == one_run()
+
+
+# ----------------------------------------------------------------------
+# plumbing: experiments that cannot honor impairments reject them
+# ----------------------------------------------------------------------
+def test_experiments_without_impairment_support_reject_loudly():
+    from repro.experiments.runner import run_experiment
+
+    with pytest.raises(ValueError, match="does not take wire impairments"):
+        run_experiment("figure3", quick=True,
+                       impairments=ImpairmentConfig(drop=0.01))

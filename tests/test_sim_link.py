@@ -143,3 +143,115 @@ def test_stats_accumulate(sim):
     assert link.stats.frames_sent == 5
     assert link.stats.frames_delivered == 5
     assert link.stats.wire_bytes_sent == 5 * (_packet(100).wire_len + ETHERNET_WIRE_OVERHEAD)
+
+
+# ----------------------------------------------------------------------
+# fault-model impairments: corruption, link state, bursty loss
+# ----------------------------------------------------------------------
+def test_corruption_marks_frames_and_counts(sim):
+    got = []
+    link = Link(sim, 1e9, 0.0, sink=got.append,
+                corrupt_prob=1.0, rng=SeededRng(3, "link"))
+    link.send(_packet())
+    sim.run()
+    # Corrupted frames are *delivered* (the wire does not eat them) but
+    # marked, so receiver checksum verification must discard them.
+    assert len(got) == 1
+    assert got[0].corrupted
+    assert link.stats.frames_corrupted == 1
+    assert link.stats.frames_delivered == 1
+    assert link.stats.frames_dropped == 0
+
+
+def test_downed_link_black_holes_frames(sim):
+    got = []
+    link = Link(sim, 1e9, 0.0, sink=got.append)
+    link.up = False
+    for _ in range(3):
+        link.send(_packet())
+    sim.run()
+    assert got == []
+    assert link.stats.frames_dropped == 3
+    assert link.stats.frames_dropped_link_down == 3
+    link.up = True
+    link.send(_packet())
+    sim.run()
+    assert len(got) == 1
+
+
+def test_gilbert_elliott_loss_is_bursty(sim):
+    """Losses cluster into runs with mean length ~1/p_bad_good — the
+    signature that distinguishes the GE channel from independent drops."""
+    from repro.sim.link import GilbertElliott
+
+    ge = GilbertElliott(SeededRng(11, "ge"), p_good_bad=0.02,
+                        p_bad_good=0.25, loss_bad=1.0)
+    outcomes = [ge.loses() for _ in range(50_000)]
+    loss_rate = sum(outcomes) / len(outcomes)
+    # Stationary loss: p_gb/(p_gb+p_bg) = 0.02/0.27 ~ 7.4%.
+    assert 0.05 < loss_rate < 0.10
+    bursts = []
+    run = 0
+    for lost in outcomes:
+        if lost:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    mean_burst = sum(bursts) / len(bursts)
+    # Mean dwell in the bad state is 1/0.25 = 4 frames; independent loss at
+    # the same rate would give mean bursts of ~1.08.
+    assert 3.0 < mean_burst < 5.0
+    assert ge.transitions > 0
+    assert ge.losses_in_bad == sum(outcomes)
+
+
+def test_gilbert_elliott_replays_identically():
+    from repro.sim.link import GilbertElliott
+
+    def sequence():
+        ge = GilbertElliott(SeededRng(42, "ge"), p_good_bad=0.05,
+                            p_bad_good=0.3, loss_bad=0.9)
+        return [ge.loses() for _ in range(5_000)]
+
+    assert sequence() == sequence()
+
+
+def test_loss_model_applies_before_independent_drop(sim):
+    """An always-bad GE channel loses every frame regardless of drop_prob."""
+    from repro.sim.link import GilbertElliott
+
+    got = []
+    link = Link(sim, 1e9, 0.0, sink=got.append)
+    link.loss_model = GilbertElliott(SeededRng(5, "ge"), p_good_bad=1.0,
+                                     p_bad_good=0.0, loss_bad=1.0)
+    for _ in range(10):
+        link.send(_packet())
+    sim.run()
+    assert got == []
+    assert link.stats.frames_dropped == 10
+    assert link.stats.frames_dropped_burst == 10
+
+
+def test_frame_conservation_under_combined_impairments(sim):
+    """drop + reorder + dup + corruption together: every frame ever sent is
+    delivered, dropped, or still in flight — the sanitizer's link audit."""
+    got = []
+    link = Link(sim, 1e9, 10e-6, sink=got.append, drop_prob=0.2,
+                reorder_prob=0.3, dup_prob=0.2, corrupt_prob=0.1,
+                rng=SeededRng(17, "link"))
+    for _ in range(500):
+        link.send(_packet(200))
+    st = link.stats
+    # Mid-flight: the books must already balance.
+    assert st.frames_sent + st.frames_duplicated == \
+        st.frames_delivered + st.frames_dropped + link.in_flight
+    sim.run()
+    assert link.in_flight == 0
+    assert st.frames_sent == 500
+    assert st.frames_duplicated > 0
+    assert st.frames_reordered > 0
+    assert st.frames_dropped > 0
+    assert st.frames_sent + st.frames_duplicated == \
+        st.frames_delivered + st.frames_dropped
+    assert len(got) == st.frames_delivered
