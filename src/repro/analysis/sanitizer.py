@@ -415,14 +415,42 @@ class SimSanitizer:
             )
 
     def _audit_heap(self) -> None:
+        """Event accounting across both scheduler tiers.
+
+        ``_pending`` counts live events wherever they sit; ``_cancelled``
+        counts cancelled entries still occupying *heap* slots (wheel
+        zombies are purged at flush/cascade and never enter the heap or
+        its compaction accounting).  So at all times::
+
+            pending + cancelled == len(heap) + wheel.count
+
+        and the wheel's live-resident counter must match a bucket walk —
+        an entry migrating between wheel levels (cascade) or tiers
+        (flush) that double-counted or leaked would break one of these.
+        """
         sim = self.sim
         if sim._pending < 0:
             raise InvariantViolation("event heap pending count went negative")
-        if sim._pending + sim._cancelled != len(sim._heap):
+        wheel = sim.wheel
+        wheel_count = wheel.count if wheel is not None else 0
+        if sim._pending + sim._cancelled != len(sim._heap) + wheel_count:
             raise InvariantViolation(
-                f"event heap accounting broken: pending={sim._pending} + "
-                f"cancelled={sim._cancelled} != heap size {len(sim._heap)}"
+                f"event accounting broken across tiers: pending={sim._pending} "
+                f"+ cancelled={sim._cancelled} != heap size {len(sim._heap)} "
+                f"+ wheel count {wheel_count}"
             )
+        if wheel is not None:
+            if wheel_count < 0:
+                raise InvariantViolation(
+                    f"timer wheel live count went negative ({wheel_count})"
+                )
+            resident = wheel.resident_live()
+            if resident != wheel_count:
+                raise InvariantViolation(
+                    f"timer wheel accounting broken: count={wheel_count} but "
+                    f"bucket walk finds {resident} live resident entries "
+                    f"(cancel double-count or lost cascade migration)"
+                )
 
     def _audit_ring(self, nic) -> None:
         posted_segments = dropped_segments = open_lro = 0
@@ -434,9 +462,15 @@ class SimSanitizer:
                     f"broken — posted={ring.posted}, drained={ring.drained}, "
                     f"in-ring={len(ring)}"
                 )
+            for pkt in ring._slots:
+                self._check_not_slab_free(pkt, f"{nic.name}.q{queue.index} ring")
             posted_segments += ring.posted_segments
             dropped_segments += ring.dropped_segments
             if queue.lro is not None:
+                for session in queue.lro.table.values():
+                    self._check_not_slab_free(
+                        session.packet, f"{nic.name}.q{queue.index} LRO table"
+                    )
                 open_lro += sum(s.segs for s in queue.lro.table.values())
         # Wire frames are conserved across the whole NIC: every received
         # frame is in exactly one queue's counters or parked in its LRO.
@@ -469,6 +503,16 @@ class SimSanitizer:
                     "same-flow-same-queue ordering broken"
                 )
 
+    @staticmethod
+    def _check_not_slab_free(pkt, where: str) -> None:
+        """Reuse-after-free guard for packet-slab recycling: a packet still
+        resident in a live structure must never sit on the freelist."""
+        if getattr(pkt, "_slab_free", False):
+            raise InvariantViolation(
+                f"{where}: holds a packet that is on the slab freelist "
+                f"(reuse-after-free): {pkt!r}"
+            )
+
     def _audit_aggregator(self, aggregator) -> None:
         stats = aggregator.stats
         name = aggregator.name
@@ -478,6 +522,12 @@ class SimSanitizer:
                 f"{stats.packets_enqueued} enqueued != {stats.packets_in} "
                 f"consumed + {len(aggregator.queue)} queued"
             )
+        for pkt in aggregator.queue:
+            self._check_not_slab_free(pkt, f"{name} input queue")
+        for partial in aggregator.table.values():
+            self._check_not_slab_free(partial.skb.head, f"{name} partial aggregate")
+            for frag in partial.skb.frags:
+                self._check_not_slab_free(frag, f"{name} partial aggregate frag")
         delivered = getattr(aggregator, "_sanitizer_segs_delivered", None)
         if delivered is None:
             return  # deliver was never wrapped (engine idle so far)

@@ -43,6 +43,7 @@ def measure_stream_speed(
         "optimized": result.optimized,
         "wall_s": wall,
         "events_fired": result.events_fired,
+        "events_per_sec": result.events_fired / wall if wall > 0 else 0.0,
         "network_packets": result.network_packets,
         "throughput_mbps": result.throughput_mbps,
     }
@@ -66,6 +67,7 @@ def measure_mq_stream_speed(
         "optimized": result.optimized,
         "wall_s": wall,
         "events_fired": result.events_fired,
+        "events_per_sec": result.events_fired / wall if wall > 0 else 0.0,
         "network_packets": result.network_packets,
         "throughput_mbps": result.throughput_mbps,
     }
@@ -139,7 +141,9 @@ def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
     finally:
         obs.reset()
 
-    neutral_keys = [k for k in off if k not in ("wall_s", "events_fired")]
+    neutral_keys = [
+        k for k in off if k not in ("wall_s", "events_fired", "events_per_sec")
+    ]
     spans = sum(
         len(o.tracer) for o in observations if o.tracer is not None
     )
@@ -151,6 +155,165 @@ def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
         "overhead_ratio": on["wall_s"] / off["wall_s"] if off["wall_s"] > 0 else 0.0,
         "trace_events": spans,
         "behavior_neutral": all(off[k] == on[k] for k in neutral_keys),
+    }
+
+
+def measure_many_conn_speed(
+    n_connections: int,
+    duration: float = 0.05,
+    warmup: float = 0.03,
+    arrival_rate_hz: float = 2000.0,
+) -> Dict[str, object]:
+    """Time the many-connection scale workload (1k/10k BENCH points).
+
+    Reports wall seconds, fired events, per-point ``events_per_sec``, and
+    the slab's ``allocations_saved`` counter.  The workload (population,
+    elephant/mice mix, Poisson churn) is fully seeded, so ``events_fired``,
+    ``transactions``, and ``allocations_saved`` are deterministic; only the
+    wall figures vary run to run.
+    """
+    from repro.workloads.many import ManyConnWorkload, run_many_connection_experiment
+
+    wl = ManyConnWorkload(
+        n_connections=n_connections, arrival_rate_hz=arrival_rate_hz
+    )
+    t0 = time.perf_counter()
+    result = run_many_connection_experiment(
+        linux_up_config(), OptimizationConfig.optimized(), wl,
+        duration=duration, warmup=warmup,
+    )
+    wall = time.perf_counter() - t0
+    return {
+        "probe": "many-conn",
+        "system": result.system,
+        "optimized": result.optimized,
+        "n_connections": n_connections,
+        "arrival_rate_hz": arrival_rate_hz,
+        "wall_s": wall,
+        "events_fired": result.events_fired,
+        "events_per_sec": result.events_fired / wall if wall > 0 else 0.0,
+        "transactions": result.transactions,
+        "throughput_mbps": result.throughput_mbps,
+        "connections_opened": result.connections_opened,
+        "connections_closed": result.connections_closed,
+        "allocations_saved": result.allocations_saved,
+    }
+
+
+def measure_slab_savings(quick: bool = True) -> Dict[str, object]:
+    """Report what the packet slab recycles on the standard streaming point.
+
+    Builds the UP-optimized streaming rig directly (the slab counters live
+    on the machine, which ``run_stream_experiment`` does not return) and
+    reads the freelist counters after the run.  ``allocations_saved`` is
+    deterministic and must be > 0 whenever recycling is enabled — the bench
+    harness asserts it; a zero means the slab was silently disconnected.
+    """
+    from repro.workloads.stream import build_stream_rig
+
+    duration, warmup = window(quick)
+    t0 = time.perf_counter()
+    sim, machine, clients, senders = build_stream_rig(
+        linux_up_config(), OptimizationConfig.optimized()
+    )
+    sim.run(until=warmup + duration)
+    wall = time.perf_counter() - t0
+    slab = machine.packet_slab
+    report: Dict[str, object] = {
+        "probe": "slab-savings",
+        "quick": quick,
+        "wall_s": wall,
+        "events_fired": sim.events_fired,
+        "slab_enabled": slab is not None,
+    }
+    if slab is not None:
+        report.update(
+            allocations_saved=slab.allocations_saved,
+            released=slab.released,
+            recycled=slab.recycled,
+            refused=slab.refused,
+            overflow=slab.overflow,
+            free_len=len(slab.free),
+        )
+    wheel = sim.wheel
+    if wheel is not None:
+        report["wheel"] = {
+            "inserts": wheel.inserts,
+            "cancelled_in_wheel": wheel.cancelled_in_wheel,
+            "flushed": wheel.flushed,
+            "purged": wheel.purged,
+        }
+    return report
+
+
+def measure_timer_churn_speed(
+    n_connections: int = 1000, rounds: int = 400
+) -> Dict[str, object]:
+    """Engine-only A/B probe of the TCP arm/cancel timer pattern.
+
+    Each simulated "connection" re-arms a 200 ms RTO-style timer on every
+    61 us segment arrival, cancelling the previous one — the pure timer
+    churn the wheel stages, with no protocol work attached.  Runs the same
+    event script on a heap-only engine and a wheel engine and reports both,
+    plus the structural counters that are the wheel's actual win: cancelled
+    entries absorbed before ever reaching the heap, and the peak heap size
+    each engine needed.  Firing counts are asserted identical (the
+    bit-identical ordering contract).
+    """
+    from repro.sim.engine import Simulator
+
+    def run_one(use_wheel: bool) -> Dict[str, object]:
+        sim = Simulator(use_wheel=use_wheel)
+        timers: List[object] = [None] * n_connections
+        remaining = [rounds] * n_connections
+        heap_peak = 0
+
+        def arrival(i: int) -> None:
+            nonlocal heap_peak
+            t = timers[i]
+            if t is not None:
+                t.cancel()
+            timers[i] = sim.schedule(0.200, fire, i)
+            remaining[i] -= 1
+            if remaining[i] > 0:
+                sim.post(61e-6, arrival, i)
+            n = len(sim._heap)
+            if n > heap_peak:
+                heap_peak = n
+
+        def fire(i: int) -> None:
+            timers[i] = None
+
+        for i in range(n_connections):
+            sim.post(i * 1e-7, arrival, i)
+        t0 = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - t0
+        out: Dict[str, object] = {
+            "wall_s": wall,
+            "events_fired": sim.events_fired,
+            "events_per_sec": sim.events_fired / wall if wall > 0 else 0.0,
+            "heap_peak": heap_peak,
+        }
+        wheel = sim.wheel
+        if wheel is not None:
+            out["cancels_absorbed"] = wheel.cancelled_in_wheel
+            out["inserts"] = wheel.inserts
+        return out
+
+    heap_only = run_one(False)
+    wheel = run_one(True)
+    assert heap_only["events_fired"] == wheel["events_fired"]
+    return {
+        "probe": "timer-churn",
+        "n_connections": n_connections,
+        "rounds": rounds,
+        "heap_only": heap_only,
+        "wheel": wheel,
+        "heap_peak_ratio": (
+            heap_only["heap_peak"] / wheel["heap_peak"]
+            if wheel["heap_peak"] else 0.0
+        ),
     }
 
 

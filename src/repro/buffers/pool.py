@@ -50,6 +50,10 @@ class BufferPool:
         self.name = name
         self.capacity = capacity
         self.stats = BufferPoolStats()
+        #: Optional :class:`~repro.buffers.slab.PacketSlab`: when set, the
+        #: packets of a freed skb (head + fragments) go to the freelist for
+        #: template re-stamping instead of the garbage collector.
+        self.slab = None
 
     def alloc(self, head: Packet, now: float = 0.0) -> Optional[SkBuff]:
         """Allocate an SkBuff wrapping ``head``; None if the pool is exhausted."""
@@ -67,6 +71,14 @@ class BufferPool:
         self.stats.outstanding -= 1
         if self.stats.outstanding < 0:
             raise RuntimeError(f"pool {self.name!r}: more frees than allocs")
+        slab = self.slab
+        if slab is not None:
+            # The skb owned these packets; past this point nothing in the
+            # receive path references them (TCP keeps (seq, len, payload)
+            # tuples, never Packet objects).
+            slab.release(skb.head)
+            for frag in skb.frags:
+                slab.release(frag)
 
     def assert_balanced(self) -> None:
         """Raise if any buffer is still outstanding."""

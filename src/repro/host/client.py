@@ -29,6 +29,9 @@ class ClientHost:
         self.name = name
         self.timers = SimTimers(sim)
         self.tx_link: Optional[Link] = None
+        #: Shared per-rig :class:`~repro.buffers.slab.PacketSlab` (set by the
+        #: receiver machine's ``add_client``); None disables recycling.
+        self.packet_slab = None
         self.connections: Dict[FlowKey, TcpConnection] = {}
         self.listeners: Dict[int, Callable[[TcpConnection], TcpSocket]] = {}
         self._next_port = 10000
@@ -71,6 +74,8 @@ class ClientHost:
             name=f"{self.name}:{key.src_port}",
         )
         self.connections[key] = conn
+        if self.packet_slab is not None:
+            conn._template.slab = self.packet_slab
         sock = TcpSocket(conn)
         conn.connect()
         return sock
@@ -113,8 +118,15 @@ class ClientHost:
             )
             conn.passive_open()
             self.connections[key] = conn
+            if self.packet_slab is not None:
+                conn._template.slab = self.packet_slab
             factory(conn)
         conn.on_segment(pkt)
+        # The segment is dead: TCP keeps only scalars/tuples from it, and
+        # cost-free hosts have no tracer reading it afterwards.  Recycle
+        # (length-only packets only; release() refuses materialized ones).
+        if self.packet_slab is not None:
+            self.packet_slab.release(pkt)
 
     # ------------------------------------------------------------------
     # transport interface used by TcpConnection

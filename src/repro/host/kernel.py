@@ -87,6 +87,9 @@ class KernelSocket:
         self.established = False
         self.remote_closed = False
         self.closed = False
+        #: True while queued on the kernel's dirty list (O(1) membership
+        #: test; the list itself keeps first-dirtied drain order).
+        self.dirty = False
         #: Application callback: fn(socket, payload_bytes_or_None, length).
         self.on_data_cb: Optional[Callable[["KernelSocket", Optional[bytes], int], None]] = None
         self.on_established_cb: Optional[Callable[["KernelSocket"], None]] = None
@@ -148,6 +151,9 @@ class Kernel:
         self.ip: int = 0
         self._iss = 5_000_000
         self._dirty_sockets: List[KernelSocket] = []
+        #: Shared per-rig packet slab; attached to every accepted
+        #: connection's template so ACK transmission recycles dead packets.
+        self.packet_slab = None
 
         self.aggregator = None  # set by the machine when aggregation is on
         #: Data segments the software checksum pass rejected (corrupted in
@@ -300,7 +306,8 @@ class Kernel:
             new_bytes = sock.pending_bytes - sum(b for b, _ in sock.pending_items)
             if new_bytes > 0:
                 sock.pending_items.append((new_bytes, skb.nr_frags))
-            if sock not in self._dirty_sockets:
+            if not sock.dirty:
+                sock.dirty = True
                 self._dirty_sockets.append(sock)
 
         skb.free()
@@ -336,6 +343,8 @@ class Kernel:
             name=f"{self.name}:accept:{key.dst_port}",
         )
         conn.passive_open()
+        if self.packet_slab is not None:
+            conn._template.slab = self.packet_slab
         sock = self._accept_socket(key, conn)
         self.connections[key] = conn
         self.sockets[key] = sock
@@ -361,6 +370,7 @@ class Kernel:
         tr = self._tr
         dirty, self._dirty_sockets = self._dirty_sockets, []
         for sock in dirty:
+            sock.dirty = False
             nbytes = sock.pending_bytes
             if nbytes <= 0:
                 continue

@@ -13,9 +13,11 @@ the machine therefore always has exactly one costed CPU.
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.buffers.pool import BufferPool
+from repro.buffers.slab import PacketSlab
 from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
 from repro.faults.degradation import CoalesceGovernor
@@ -49,7 +51,16 @@ class ReceiverMachine:
 
         self.cpu = Cpu(sim, config.cpu_freq_hz, costs=config.costs, locks=config.locks, name=f"{name}-cpu0")
         self.pool = BufferPool(name=f"{name}-skb")
+        #: Rig-wide packet freelist: dead length-only packets (data segments
+        #: freed with their skb, ACKs finished at the clients) are re-stamped
+        #: by connection templates instead of reallocated.
+        #: ``REPRO_NO_SLAB=1`` disables it (A/B baseline).
+        self.packet_slab: Optional[PacketSlab] = (
+            None if os.environ.get("REPRO_NO_SLAB") == "1" else PacketSlab()
+        )
+        self.pool.slab = self.packet_slab
         self.kernel = Kernel(sim, self.cpu, config, opt, pool=self.pool, name=name)
+        self.kernel.packet_slab = self.packet_slab
         self.kernel.set_ip(self.ip)
         #: Graceful-degradation governor (None unless opt.auto_degrade and
         #: some coalescing engine exists to govern).
@@ -83,8 +94,14 @@ class ReceiverMachine:
         reorder_prob: float = 0.0,
         dup_prob: float = 0.0,
         rng=None,
+        batch_window_s: float = 0.0,
     ) -> Nic:
-        """Attach a client machine via a dedicated NIC and full-duplex link."""
+        """Attach a client machine via a dedicated NIC and full-duplex link.
+
+        ``batch_window_s`` enables batched link delivery on both directions
+        (see :class:`~repro.sim.link.Link`); many-connection rigs use it to
+        collapse back-to-back frames into one event each way.
+        """
         cfg = self.config
         index = len(self.nics)
         nic = Nic(
@@ -110,14 +127,18 @@ class ReceiverMachine:
         inbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
             drop_prob=drop_prob, reorder_prob=reorder_prob, dup_prob=dup_prob,
-            rng=rng, name=f"{client.name}->{nic.name}",
+            rng=rng, batch_window_s=batch_window_s,
+            name=f"{client.name}->{nic.name}",
         )
         outbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
+            batch_window_s=batch_window_s,
             name=f"{nic.name}->{client.name}",
         )
         client.attach_tx(inbound)
         nic.attach_tx(outbound)
+        if client.packet_slab is None:
+            client.packet_slab = self.packet_slab
         self.kernel.register_route(client.ip, driver)
         self.nics.append(nic)
         self.drivers.append(driver)

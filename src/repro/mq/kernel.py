@@ -228,6 +228,7 @@ class MqKernel(Kernel):
         dirty, self._dirty_sockets = self._dirty_sockets, []
         try:
             for sock in dirty:
+                sock.dirty = False
                 nbytes = sock.pending_bytes
                 if nbytes <= 0:
                     continue

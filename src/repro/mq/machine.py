@@ -17,9 +17,11 @@ charged mechanistically by :class:`~repro.mq.costs.CrossCpuCostModel`
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Union
 
 from repro.buffers.pool import BufferPool
+from repro.buffers.slab import PacketSlab
 from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
 from repro.driver.e1000 import E1000Driver
@@ -74,6 +76,11 @@ class MqReceiverMachine:
             for i in range(queues)
         ]
         self.pool = BufferPool(name=f"{name}-skb")
+        #: Rig-wide packet freelist (see ReceiverMachine.packet_slab).
+        self.packet_slab = (
+            None if os.environ.get("REPRO_NO_SLAB") == "1" else PacketSlab()
+        )
+        self.pool.slab = self.packet_slab
         self.kernel = MqKernel(
             sim,
             self.cpus,
@@ -84,6 +91,7 @@ class MqReceiverMachine:
             pool=self.pool,
             name=name,
         )
+        self.kernel.packet_slab = self.packet_slab
         self.kernel.set_ip(self.ip)
 
         self.nics: List[Nic] = []
@@ -104,8 +112,14 @@ class MqReceiverMachine:
         reorder_prob: float = 0.0,
         dup_prob: float = 0.0,
         rng=None,
+        batch_window_s: float = 0.0,
     ) -> Nic:
-        """Attach a client via a multi-queue NIC and full-duplex link."""
+        """Attach a client via a multi-queue NIC and full-duplex link.
+
+        ``batch_window_s`` enables batched link delivery on both directions
+        (same semantics as the single-queue machine); 0 keeps per-frame
+        events, bit-identical to the pre-batching link.
+        """
         cfg = self.config
         index = len(self.nics)
         nic = Nic(
@@ -155,14 +169,18 @@ class MqReceiverMachine:
         inbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=nic.rx_frame,
             drop_prob=drop_prob, reorder_prob=reorder_prob, dup_prob=dup_prob,
-            rng=rng, name=f"{client.name}->{nic.name}",
+            rng=rng, batch_window_s=batch_window_s,
+            name=f"{client.name}->{nic.name}",
         )
         outbound = Link(
             self.sim, cfg.nic_rate_bps, cfg.link_delay_s, sink=client.rx,
+            batch_window_s=batch_window_s,
             name=f"{nic.name}->{client.name}",
         )
         client.attach_tx(inbound)
         nic.attach_tx(outbound)
+        if client.packet_slab is None:
+            client.packet_slab = self.packet_slab
         self.kernel.register_route(client.ip, nic_drivers)
         self.nics.append(nic)
         self.drivers.append(nic_drivers)

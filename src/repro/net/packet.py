@@ -41,6 +41,7 @@ class Packet:
         "lro_segs",
         "_wire_len",
         "_flow_key",
+        "_slab_free",
     )
 
     def __init__(
@@ -75,6 +76,10 @@ class Packet:
         #: Lazily cached geometry/flow identity (see ``wire_len``/``flow_key``).
         self._wire_len: Optional[int] = None
         self._flow_key = None
+        #: True while parked on a :class:`~repro.buffers.slab.PacketSlab`
+        #: freelist — any path still holding the packet then is a bug the
+        #: sanitizer's reuse-after-free audit catches.
+        self._slab_free = False
 
     # ------------------------------------------------------------------
     # geometry
@@ -284,6 +289,7 @@ class Packet:
         clone.lro_segs = self.lro_segs
         clone._wire_len = None
         clone._flow_key = None
+        clone._slab_free = False
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -342,7 +348,7 @@ class PacketTemplate:
     senders go through the ordinary constructors.
     """
 
-    __slots__ = ("_ip_fields", "_tcp_fields", "_eth", "_flow_key")
+    __slots__ = ("_ip_fields", "_tcp_fields", "_eth", "_flow_key", "slab")
 
     def __init__(self, src_ip: int, dst_ip: int, src_port: int, dst_port: int):
         ip = IPv4Header(src_ip=src_ip, dst_ip=dst_ip)
@@ -355,6 +361,9 @@ class PacketTemplate:
         # every packet stamped from this template.  Same for the flow key.
         self._eth = EthernetHeader()
         self._flow_key = FlowKey(src_ip, src_port, dst_ip, dst_port)
+        #: Optional :class:`~repro.buffers.slab.PacketSlab` to recycle dead
+        #: packets from.  Attached by the rig (kernel/client) per connection.
+        self.slab = None
 
     def make(
         self,
@@ -365,9 +374,21 @@ class PacketTemplate:
         payload_len: int = 0,
         options: Optional[TcpOptions] = None,
     ) -> Packet:
-        ip = IPv4Header.__new__(IPv4Header)
+        slab = self.slab
+        pkt = slab.acquire() if slab is not None else None
+        if pkt is None:
+            ip = IPv4Header.__new__(IPv4Header)
+            tcp = TcpHeader.__new__(TcpHeader)
+            pkt = Packet.__new__(Packet)
+        else:
+            # Recycled packet: reuse its header objects, re-initializing
+            # every field from the template snapshot (clear first — the
+            # previous life may have set fields the snapshot lacks).
+            ip = pkt.ip
+            ip.__dict__.clear()
+            tcp = pkt.tcp
+            tcp.__dict__.clear()
         ip.__dict__.update(self._ip_fields)
-        tcp = TcpHeader.__new__(TcpHeader)
         tcp.__dict__.update(self._tcp_fields)
         tcp.seq = seq & 0xFFFFFFFF
         tcp.ack = ack & 0xFFFFFFFF
@@ -379,7 +400,6 @@ class PacketTemplate:
         # Template headers are always option-less IP (ihl=5), base TCP.
         total = IP_HEADER_LEN + TCP_BASE_HEADER_LEN + options.encoded_len() + payload_len
         ip.total_length = total
-        pkt = Packet.__new__(Packet)
         pkt.eth = self._eth
         pkt.ip = ip
         pkt.tcp = tcp
@@ -392,4 +412,5 @@ class PacketTemplate:
         pkt.lro_segs = 1
         pkt._wire_len = ETH_HEADER_LEN + total
         pkt._flow_key = self._flow_key
+        pkt._slab_free = False
         return pkt

@@ -103,7 +103,10 @@ class PacketCapture:
             # the most recent window (matches the obs tracer's policy).
             self.records.popleft()
             self.records_dropped += 1
-        self.records.append(CaptureRecord(self.sim.now, pkt))
+        # Snapshot the frame as it crossed the tap, like tcpdump copying
+        # bytes off the wire: the live object may later be recycled through
+        # a packet slab and re-stamped for an unrelated flow.
+        self.records.append(CaptureRecord(self.sim.now, pkt.copy()))
 
     # ------------------------------------------------------------------
     # filtering

@@ -1,0 +1,336 @@
+"""Tests for the hierarchical timer wheel and its engine integration.
+
+The contract under test: with the wheel enabled the engine fires the exact
+same event sequence — times, order, everything — as the heap-only engine;
+the wheel only changes where not-yet-due entries live and what a cancel
+costs.  The randomized differential test at the bottom drives both engines
+through an identical schedule/cancel script and compares full traces.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import (
+    _HORIZON_TICKS,
+    SLOTS,
+    TICK_S,
+    HierarchicalTimerWheel,
+    tick_of,
+)
+
+#: Past the nearline (8 ticks): schedules at this delay park in the wheel.
+MID_FUTURE = 200 * TICK_S
+#: Past the level-2 horizon: schedules stay in the overflow heap.
+BEYOND_HORIZON = (_HORIZON_TICKS + 100) * TICK_S
+
+
+def conservation_holds(sim):
+    wheel = sim.wheel
+    wheel_count = wheel.count if wheel is not None else 0
+    return sim._pending + sim._cancelled == len(sim._heap) + wheel_count
+
+
+# ----------------------------------------------------------------------
+# placement
+# ----------------------------------------------------------------------
+
+def test_mid_future_event_parks_in_wheel_and_fires_exactly():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    ev = sim.schedule(MID_FUTURE, lambda: fired.append(sim.now))
+    assert ev.in_wheel
+    assert sim._heap == []
+    assert sim.wheel.count == 1
+    sim.run()
+    assert fired == [MID_FUTURE]
+    assert sim.wheel.count == 0
+    assert conservation_holds(sim)
+
+
+def test_far_future_beyond_horizon_stays_in_heap_and_fires():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    ev = sim.schedule(BEYOND_HORIZON, lambda: fired.append(sim.now))
+    assert not ev.in_wheel
+    assert len(sim._heap) == 1
+    assert sim.wheel.count == 0
+    sim.run()
+    assert fired == [BEYOND_HORIZON]
+    assert conservation_holds(sim)
+
+
+def test_near_future_event_skips_wheel():
+    """Times within the nearline go straight to the heap — the wheel cannot
+    order within the current tick, and near events dominate real traffic."""
+    sim = Simulator(use_wheel=True)
+    ev = sim.schedule(TICK_S, lambda: None)
+    assert not ev.in_wheel
+    assert len(sim._heap) == 1
+
+
+def test_inline_insert_matches_try_insert_reference():
+    """``Simulator.at`` mirrors ``HierarchicalTimerWheel.try_insert``
+    verbatim for speed; the two must always agree on wheel-vs-heap
+    placement and on the live count."""
+    rng = random.Random(20260808)
+    for _ in range(500):
+        t = rng.choice([
+            rng.uniform(0.0, 8 * TICK_S),            # near: heap
+            rng.uniform(8 * TICK_S, SLOTS * TICK_S),  # level 0
+            rng.uniform(SLOTS * TICK_S, SLOTS * SLOTS * TICK_S),  # level 1
+            rng.uniform(0.0, (_HORIZON_TICKS + 1000) * TICK_S),   # anywhere
+        ])
+        sim = Simulator(use_wheel=True)
+        ev = sim.at(t, lambda: None)
+        reference = HierarchicalTimerWheel()
+        accepted = reference.try_insert((t, 0, None, (), None), now=0.0)
+        in_wheel_by_inline = ev.in_wheel
+        # The engine additionally keeps nearline times out of the wheel;
+        # the reference has no nearline, so only one direction must match.
+        if t >= 8 * TICK_S:
+            assert in_wheel_by_inline == accepted, t
+        else:
+            assert not in_wheel_by_inline, t
+        assert sim.wheel.count == (1 if in_wheel_by_inline else 0)
+
+
+# ----------------------------------------------------------------------
+# cancellation across tiers
+# ----------------------------------------------------------------------
+
+def test_wheel_cancel_never_reaches_heap():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    ev = sim.schedule(MID_FUTURE, lambda: fired.append("no"))
+    ev.cancel()
+    assert sim.wheel.count == 0
+    assert sim.wheel.cancelled_in_wheel == 1
+    # A wheel cancel must not be double-counted into the heap's lazy
+    # cancellation bookkeeping (that would poison compaction thresholds).
+    assert sim._cancelled == 0
+    assert conservation_holds(sim)
+    sim.run(until=2 * MID_FUTURE)
+    assert fired == []
+    # With nothing live, advance never runs: the zombie stays parked and
+    # dead in its bucket (cheapest possible cancel), never heap-pushed.
+    assert sim.wheel.flushed == 0
+    assert sim.wheel.resident_live() == 0
+    assert conservation_holds(sim)
+
+
+def test_cancelled_zombie_purged_when_bucket_flushes():
+    """A cancelled wheel entry is dropped the first time its bucket is
+    walked — it must not be double-counted (count already dropped at
+    cancel time) nor delivered."""
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.schedule(MID_FUTURE, fired.append, "dead").cancel()
+    sim.schedule(MID_FUTURE, fired.append, "live")  # same tick, same bucket
+    assert sim.wheel.count == 1
+    sim.run()
+    assert fired == ["live"]
+    assert sim.wheel.purged == 1
+    assert sim.wheel.flushed == 1
+    assert conservation_holds(sim)
+
+
+def test_cancel_then_rearm():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    first = sim.schedule(MID_FUTURE, lambda: fired.append("first"))
+    first.cancel()
+    first.cancel()  # idempotent
+    second = sim.schedule(MID_FUTURE, lambda: fired.append("second"))
+    assert second.in_wheel
+    assert sim.wheel.count == 1
+    sim.run()
+    assert fired == ["second"]
+    assert conservation_holds(sim)
+
+
+def test_heap_compaction_leaves_wheel_entries_alone():
+    """Heap compaction (lazy-cancel GC) and the wheel are separate tiers:
+    compacting the heap must not disturb wheel residents or the cross-tier
+    conservation invariant."""
+    sim = Simulator(use_wheel=True)
+    fired = []
+    for i in range(10):
+        sim.schedule(MID_FUTURE + i * TICK_S, fired.append, i)
+    assert sim.wheel.count == 10
+    # Near-term heap entries, most cancelled -> triggers compaction.
+    handles = [sim.schedule(i * 1e-6, lambda: None) for i in range(200)]
+    for h in handles[:150]:
+        h.cancel()
+    # Compaction ran at least once: the heap shed cancelled entries and
+    # the lazy counter was reset below the cancel total.
+    assert len(sim._heap) < 200
+    assert sim._cancelled < 150
+    assert sim.wheel.count == 10
+    assert conservation_holds(sim)
+    sim.run()
+    assert fired == list(range(10))
+
+
+# ----------------------------------------------------------------------
+# ordering
+# ----------------------------------------------------------------------
+
+def test_many_same_tick_timers_fire_in_schedule_order():
+    sim = Simulator(use_wheel=True)
+    t = MID_FUTURE
+    fired = []
+    for i in range(100):
+        ev = sim.at(t, fired.append, i)
+        assert ev.in_wheel
+    sim.run()
+    assert fired == list(range(100))
+    assert sim.now == t
+
+
+def test_wheel_and_heap_events_interleave_in_time_order():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.at(BEYOND_HORIZON, fired.append, "overflow")      # heap tier
+    sim.at(MID_FUTURE, fired.append, "wheel")             # wheel tier
+    sim.at(TICK_S / 2, fired.append, "near")              # heap, near
+    sim.at(SLOTS * 4 * TICK_S, fired.append, "level1")    # wheel, level 1
+    sim.run()
+    assert fired == ["near", "wheel", "level1", "overflow"]
+
+
+# ----------------------------------------------------------------------
+# run-loop regressions
+# ----------------------------------------------------------------------
+
+def test_heap_only_run_drains_without_wheel():
+    """Regression: ``run(until=None)`` on a heap-only engine used to fall
+    into the wheel-refill path (``inf > inf`` is False) and die on
+    ``None.count`` once the heap drained."""
+    sim = Simulator(use_wheel=False)
+    assert sim.wheel is None
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_fires_wheel_resident_event_with_empty_heap():
+    """The run loop must refill from the wheel even when the heap is
+    completely empty (nothing to pop, but the run is not done)."""
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.post(MID_FUTURE, fired.append, 1)
+    assert sim._heap == []
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_until_respects_wheel_deadline():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.schedule(MID_FUTURE, fired.append, 1)
+    sim.run(until=MID_FUTURE / 2)
+    assert fired == []
+    assert sim.now == MID_FUTURE / 2
+    sim.run(until=2 * MID_FUTURE)
+    assert fired == [1]
+
+
+def test_step_through_wheel_resident_events():
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.post(MID_FUTURE, fired.append, 1)
+    sim.post(2 * MID_FUTURE, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert fired == [1, 2]
+    assert not sim.step()
+
+
+def test_idle_stretch_then_reschedule():
+    """After the wheel drains and simulated time runs far past its origin,
+    a fresh insert must catch the origin up (stale base_tick would put a
+    near event in a far bucket and fire it late)."""
+    sim = Simulator(use_wheel=True)
+    fired = []
+    sim.post(MID_FUTURE, fired.append, "a")
+    sim.run()
+    sim.run(until=sim.now + 5.0)  # idle: clock advances, wheel empty
+    sim.post(MID_FUTURE, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.now == pytest.approx(MID_FUTURE + 5.0 + MID_FUTURE)
+
+
+# ----------------------------------------------------------------------
+# tick math
+# ----------------------------------------------------------------------
+
+def test_tick_of_lower_bound_property():
+    rng = random.Random(7)
+    samples = [rng.uniform(0.0, 2000.0) for _ in range(2000)]
+    samples += [n * TICK_S for n in range(0, 3000, 7)]  # exact boundaries
+    for t in samples:
+        k = tick_of(t)
+        assert k * TICK_S <= t < (k + 1) * TICK_S, t
+
+
+# ----------------------------------------------------------------------
+# randomized differential: wheel engine vs heap-only engine
+# ----------------------------------------------------------------------
+
+def _trace(use_wheel: bool, seed: int):
+    """Drive one engine through a seeded schedule/cancel script and return
+    the full firing trace.
+
+    The script mixes every placement regime (near/heap, wheel levels 0-2,
+    beyond-horizon overflow), cancels random live handles, and schedules
+    from inside callbacks.  Both engines consume the rng in fire order, so
+    any ordering divergence derails the comparison immediately — which is
+    the point.
+    """
+    rng = random.Random(seed)
+    sim = Simulator(use_wheel=use_wheel)
+    fired = []
+    live = []
+    next_id = [0]
+
+    def cb(i):
+        fired.append((sim.now, i))
+
+    def driver(round_no):
+        for _ in range(8):
+            r = rng.random()
+            if r < 0.6 or not live:
+                delay = rng.choice([
+                    rng.uniform(0.0, 4 * TICK_S),
+                    rng.uniform(0.0, SLOTS * TICK_S),
+                    rng.uniform(0.0, 0.5),
+                    rng.uniform(0.0, (_HORIZON_TICKS + 500) * TICK_S),
+                ])
+                i = next_id[0]
+                next_id[0] = i + 1
+                live.append(sim.schedule(delay, cb, i))
+            else:
+                # Cancel a random handle; it may already have fired
+                # (cancel is then a no-op) — identically in both engines.
+                live.pop(rng.randrange(len(live))).cancel()
+        if round_no > 0:
+            sim.schedule(rng.uniform(0.0, 2e-3), driver, round_no - 1)
+
+    driver(120)
+    sim.run()
+    return fired, sim.events_fired
+
+
+@pytest.mark.parametrize("seed", [1, 20260808, 424242])
+def test_randomized_differential_wheel_vs_heap(seed):
+    wheel_trace, wheel_fired = _trace(True, seed)
+    heap_trace, heap_fired = _trace(False, seed)
+    assert wheel_fired == heap_fired
+    # Bit-identical: same events, same absolute times, same order.
+    assert wheel_trace == heap_trace
+    assert len(wheel_trace) > 250  # the script actually exercised things
