@@ -18,6 +18,7 @@ from repro.analysis.speed import (
     measure_figure07_speed,
     measure_many_conn_speed,
     measure_obs_overhead,
+    measure_racecheck_overhead,
     measure_slab_savings,
     measure_timer_churn_speed,
 )
@@ -96,6 +97,38 @@ def test_obs_overhead(benchmark):
             f"obs-off path regressed: {measured_eps:,.0f} events/s vs "
             f"baseline {baseline_eps:,.0f} (allowed -2%)"
         )
+
+
+def test_racecheck_overhead(benchmark):
+    """The cross-CPU race detector must never change behaviour when on.
+
+    Stricter than the obs gate: the checker consumes no cycles and
+    schedules nothing, so *every* measured field — ``events_fired``
+    included — must be bit-identical with checking enabled.  The wall-time
+    ratio is informational and rides into BENCH_speed.json under
+    ``"racecheck"``.
+    """
+    report = benchmark.pedantic(
+        measure_racecheck_overhead, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    off, on = report["off"], report["on"]
+    benchmark.extra_info["overhead_ratio"] = round(report["overhead_ratio"], 3)
+    benchmark.extra_info["accesses_noted"] = report["accesses_noted"]
+    print()
+    print(
+        f"racecheck overhead: off {off['wall_s']:.2f}s / on {on['wall_s']:.2f}s "
+        f"(x{report['overhead_ratio']:.2f}), {report['accesses_noted']:,} accesses "
+        f"({report['foreign_accesses']:,} cross-CPU, all charged)"
+    )
+
+    assert report["behavior_neutral"], (off, on)
+    # The probe runs RSS steering: cross-CPU traffic is guaranteed, so a
+    # zero here means the checker silently disconnected from the rig.
+    assert report["accesses_noted"] > 0
+    assert report["foreign_accesses"] > 0
+    assert report["objects_tagged"] > 0
+
+    _merge_bench({"racecheck": report})
 
 
 def test_many_connection_speed(benchmark):

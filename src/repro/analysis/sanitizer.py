@@ -94,11 +94,11 @@ class SimSanitizer:
         self.stats = SanitizerStats()
         self.machines: List[object] = []
         self._last_now = sim.now
-        sim.set_after_event_hook(self._after_event)
+        sim.push_after_event_hook(self._after_event)
 
     # ------------------------------------------------------------------
     def detach(self) -> None:
-        self.sim.clear_after_event_hook()
+        self.sim.remove_after_event_hook(self._after_event)
 
     def watch_machine(self, machine) -> None:
         """Audit a ReceiverMachine's kernel, NICs, drivers, and clients.
@@ -581,8 +581,8 @@ def install(deep_every: int = DEEP_AUDIT_INTERVAL) -> _InstallHandle:
     sim_init = Simulator.__init__
     handle = _InstallHandle(sim_init=sim_init)
 
-    def sanitized_sim_init(self) -> None:
-        sim_init(self)
+    def sanitized_sim_init(self, *args, **kwargs) -> None:
+        sim_init(self, *args, **kwargs)
         handle.sanitizers.append(SimSanitizer(self, deep_every=deep_every))
 
     Simulator.__init__ = sanitized_sim_init

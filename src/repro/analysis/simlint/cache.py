@@ -1,0 +1,172 @@
+"""Content-hash result cache for the simlint runner.
+
+Linting is pure: (file bytes, rule set, linter code) fully determine the
+findings.  The cache exploits that — each per-module result is keyed on
+the file's content digest plus the rule-set signature, and the
+whole-program pass on the aggregate digest of every indexed file — so
+re-linting an unchanged tree is a hash lookup per file instead of an AST
+parse and rule sweep.  The *linter's own* sources are folded into every
+key (the toolchain digest): editing a rule invalidates everything, so a
+stale cache can never mask a finding a newer rule would report.
+
+Entries store both the findings and the suppression ``used_marks`` so a
+cache-served file still participates in ``unused-allow`` staleness
+judgment.  The on-disk format is plain JSON (default
+``.simlint-cache.json``, git-ignored); a version or toolchain mismatch
+discards the file wholesale.  Saving keeps only the keys touched by the
+current run, so the file tracks the tree instead of growing monotonically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.simlint.core import Violation
+
+_SCHEMA_VERSION = 1
+
+
+def digest_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def toolchain_digest() -> str:
+    """Digest of the simlint package's own sources (keys every entry)."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    hasher = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            full = os.path.join(dirpath, filename)
+            hasher.update(os.path.relpath(full, package_dir).encode("utf-8"))
+            with open(full, "rb") as fh:
+                hasher.update(fh.read())
+    return hasher.hexdigest()
+
+
+def _encode_violation(violation: Violation) -> List[object]:
+    return [
+        violation.rule,
+        violation.path,
+        violation.line,
+        violation.col,
+        violation.message,
+        violation.snippet,
+    ]
+
+
+def _decode_violation(row: Sequence[object]) -> Violation:
+    rule, path, line, col, message, snippet = row
+    return Violation(
+        rule=str(rule),
+        path=str(path),
+        line=int(line),  # type: ignore[arg-type]
+        col=int(col),  # type: ignore[arg-type]
+        message=str(message),
+        snippet=str(snippet),
+    )
+
+
+class LintCache:
+    """One cache file; ``get``/``put`` during a run, ``save`` at the end."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.hits = 0
+        self.misses = 0
+        self._toolchain = toolchain_digest()
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self._touched: set = set()
+        self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != _SCHEMA_VERSION
+            or data.get("toolchain") != self._toolchain
+        ):
+            return
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "toolchain": self._toolchain,
+            "entries": {
+                key: value
+                for key, value in self._entries.items()
+                if key in self._touched
+            },
+        }
+        tmp = f"{self.path}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - read-only checkout etc.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def rules_signature(rule_ids: Sequence[str]) -> str:
+        return digest_text(",".join(sorted(rule_ids)))[:16]
+
+    def module_key(self, path: str, source_digest: str, rules_sig: str) -> str:
+        return f"module::{path}::{source_digest}::{rules_sig}"
+
+    def program_key(
+        self, file_digests: Sequence[Tuple[str, str]], rules_sig: str
+    ) -> str:
+        aggregate = digest_text(
+            "\n".join(f"{path}\0{digest}" for path, digest in sorted(file_digests))
+        )
+        return f"program::{aggregate}::{rules_sig}"
+
+    # ------------------------------------------------------------------
+    def get(
+        self, key: str
+    ) -> Optional[Tuple[List[Violation], List[Tuple[str, int, str]]]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        try:
+            violations = [_decode_violation(row) for row in entry["v"]]  # type: ignore[union-attr, index]
+            marks = [
+                (str(path), int(line), str(rule))
+                for path, line, rule in entry["m"]  # type: ignore[union-attr, index]
+            ]
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._touched.add(key)
+        return violations, marks
+
+    def put(
+        self,
+        key: str,
+        violations: Sequence[Violation],
+        marks: Sequence[Tuple[str, int, str]],
+    ) -> None:
+        self._entries[key] = {
+            "v": [_encode_violation(v) for v in violations],
+            "m": [[path, line, rule] for path, line, rule in marks],
+        }
+        self._touched.add(key)

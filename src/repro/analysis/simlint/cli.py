@@ -2,10 +2,19 @@
 
 Usage::
 
-    python -m repro.analysis.simlint src/            # lint a tree
-    python -m repro.analysis.simlint --list-rules    # what gets checked
+    python -m repro.analysis.simlint src/              # lint a tree
+    python -m repro.analysis.simlint --whole-program src/repro
+    python -m repro.analysis.simlint --list-rules      # what gets checked
     python -m repro.analysis.simlint --select wall-clock,float-eq src/
     python -m repro.analysis.simlint --format json src/ tests/
+    python -m repro.analysis.simlint --no-cache src/
+
+``--whole-program`` adds the cross-module ownership rules
+(``cross-cpu-write``, ``uncharged-cycles``, ``slab-escape``), which build
+a symbol table and call graph over every linted file.  Results are cached
+by content hash in ``.simlint-cache.json`` (``--cache-path`` to move it,
+``--no-cache`` to bypass); editing any simlint source invalidates the
+whole cache, so a stale rule can never hide a finding.
 
 Exit status: 0 clean, 1 violations found, 2 usage error.
 """
@@ -14,11 +23,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
+from repro.analysis.simlint.cache import LintCache
+from repro.analysis.simlint.core import Rule
 from repro.analysis.simlint.reporters import render_json, render_text
-from repro.analysis.simlint.rules import ALL_RULES, RULES_BY_ID
-from repro.analysis.simlint.runner import lint_paths
+from repro.analysis.simlint.rules import ALL_RULES, PROGRAM_RULES, RULES_BY_ID
+from repro.analysis.simlint.runner import default_rules, lint_paths
+
+DEFAULT_CACHE_PATH = ".simlint-cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +49,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all module rules)",
+    )
+    parser.add_argument(
+        "--whole-program",
+        action="store_true",
+        help="also run the cross-module ownership rules "
+        "(cross-cpu-write, uncharged-cycles, slab-escape)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the content-hash result cache",
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="PATH",
+        default=DEFAULT_CACHE_PATH,
+        help=f"result cache location (default: {DEFAULT_CACHE_PATH})",
     )
     parser.add_argument(
         "--list-rules",
@@ -53,6 +83,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
             print(f"{rule.id:22s} {rule.summary}")
+        for rule in PROGRAM_RULES:
+            print(f"{rule.id:22s} [whole-program] {rule.summary}")
         return 0
 
     if not args.paths:
@@ -60,7 +92,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("simlint: error: no paths given", file=sys.stderr)
         return 2
 
-    rules = list(ALL_RULES)
+    rules: List[Rule] = default_rules(whole_program=args.whole_program)
     if args.select:
         wanted = [r.strip() for r in args.select.split(",") if r.strip()]
         unknown = [r for r in wanted if r not in RULES_BY_ID]
@@ -72,7 +104,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         rules = [RULES_BY_ID[r] for r in wanted]
 
-    violations = lint_paths(args.paths, rules=rules)
+    cache = None if args.no_cache else LintCache(args.cache_path)
+    violations = lint_paths(args.paths, rules=rules, cache=cache)
     if args.format == "json":
         print(render_json(violations))
     else:

@@ -6,26 +6,39 @@ modulo-2**32 sequence arithmetic through :mod:`repro.tcp.seqmath`,
 write-through packet mutation, picklable sweep workers — as machine-checkable
 rules, so refactors cannot silently break reproducibility.
 
+Rules come in two scopes.  *Module* rules (the default) see one parsed file
+at a time through :class:`ModuleContext`.  *Program* rules subclass
+:class:`ProgramRule` and see the whole-tree symbol table and call graph
+built by :mod:`repro.analysis.simlint.program`, which is what lets them
+reason about reachability ("does this handler ever reach ``Cpu.consume``?")
+across module boundaries.
+
 Suppressions
 ------------
-A violation can be acknowledged in place::
+A violation can be acknowledged in place (the marker must be in a real
+comment — string literals, including this docstring, do not count)::
 
     wall = time.perf_counter() - t0  # simlint: allow(wall-clock) -- harness timing
 
-or for a whole file (put anywhere in the file, conventionally near the top)::
-
-    # simlint: file-allow(wall-clock) -- this module measures the simulator
-
-Multiple rule ids may be listed, comma-separated.  The ``-- reason`` tail is
-optional but encouraged; it is for the human reviewer, not the linter.
+or for a whole file, with ``file-`` prefixed to ``allow`` (put anywhere in
+the file, conventionally near the top).  Multiple rule ids may be listed,
+comma-separated.  The ``-- reason`` tail is optional but encouraged; it is
+for the human reviewer, not the linter.  Suppressions that stop masking any
+finding are themselves flagged by the ``unused-allow`` rule (the analogue
+of ruff's unused-noqa check).
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import cycle guard
+    from repro.analysis.simlint.program import ProgramIndex
 
 _SUPPRESS_RE = re.compile(
     r"#\s*simlint:\s*(?P<scope>file-)?allow\(\s*(?P<rules>[a-z0-9_,\s-]+)\)"
@@ -58,37 +71,131 @@ class Violation:
 
 
 @dataclass
+class AllowEntry:
+    """One ``# simlint: allow(...)`` comment, with usage tracking."""
+
+    line: int
+    file_scope: bool
+    rules: Set[str]
+    #: Rule ids from :attr:`rules` that actually suppressed a finding.
+    used: Set[str] = field(default_factory=set)
+
+
 class Suppressions:
-    """Parsed ``# simlint: allow(...)`` comments for one file."""
+    """Parsed ``# simlint: allow(...)`` comments for one file.
 
-    file_rules: Set[str] = field(default_factory=set)
-    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    Parsing is token-based: only real COMMENT tokens count, so an allow
+    marker quoted inside a docstring or string literal (e.g. documentation
+    showing the syntax) neither suppresses findings nor registers as a
+    stale suppression.  Files that fail to tokenize fall back to the old
+    line-regex scan so broken-syntax fixtures still behave.
+    """
 
+    def __init__(self, entries: Optional[List[AllowEntry]] = None) -> None:
+        self.entries: List[AllowEntry] = entries if entries is not None else []
+
+    # ------------------------------------------------------------------
     @classmethod
     def scan(cls, lines: List[str]) -> "Suppressions":
-        sup = cls()
-        for lineno, text in enumerate(lines, start=1):
+        source = "\n".join(lines)
+        entries: List[AllowEntry] = []
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            tokens = None
+        if tokens is not None:
+            candidates: Iterable[Tuple[int, str]] = (
+                (tok.start[0], tok.string)
+                for tok in tokens
+                if tok.type == tokenize.COMMENT
+            )
+        else:  # pragma: no cover - requires untokenizable source
+            candidates = ((lineno, text) for lineno, text in enumerate(lines, start=1))
+        for lineno, text in candidates:
             match = _SUPPRESS_RE.search(text)
             if match is None:
                 continue
             rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
-            if match.group("scope"):
-                sup.file_rules |= rules
-            else:
-                sup.line_rules.setdefault(lineno, set()).update(rules)
-        return sup
+            entries.append(
+                AllowEntry(line=lineno, file_scope=bool(match.group("scope")), rules=rules)
+            )
+        return cls(entries)
 
+    # ------------------------------------------------------------------
+    # compatibility views (rules/tests that inspect the parsed shape)
+    # ------------------------------------------------------------------
+    @property
+    def file_rules(self) -> Set[str]:
+        out: Set[str] = set()
+        for entry in self.entries:
+            if entry.file_scope:
+                out |= entry.rules
+        return out
+
+    @property
+    def line_rules(self) -> Dict[int, Set[str]]:
+        out: Dict[int, Set[str]] = {}
+        for entry in self.entries:
+            if not entry.file_scope:
+                out.setdefault(entry.line, set()).update(entry.rules)
+        return out
+
+    # ------------------------------------------------------------------
     def suppresses(self, violation: Violation) -> bool:
-        if violation.rule in self.file_rules:
-            return True
-        at_line = self.line_rules.get(violation.line)
-        return at_line is not None and violation.rule in at_line
+        """True when some allow covers ``violation`` (marking it as used)."""
+        hit = False
+        for entry in self.entries:
+            if violation.rule not in entry.rules:
+                continue
+            if entry.file_scope or entry.line == violation.line:
+                entry.used.add(violation.rule)
+                hit = True
+        return hit
+
+    def used_marks(self) -> List[Tuple[int, str]]:
+        """(line, rule) pairs that suppressed at least one finding — the
+        unit the result cache persists so replayed runs can still judge
+        staleness."""
+        out: List[Tuple[int, str]] = []
+        for entry in self.entries:
+            for rule in sorted(entry.used):
+                out.append((entry.line, rule))
+        return out
+
+    def replay_marks(self, marks: Iterable[Tuple[int, str]]) -> None:
+        """Re-apply :meth:`used_marks` output from a previous (cached) run."""
+        by_line: Dict[int, Set[str]] = {}
+        for line, rule in marks:
+            by_line.setdefault(line, set()).add(rule)
+        for entry in self.entries:
+            hits = by_line.get(entry.line)
+            if hits:
+                entry.used |= hits & entry.rules
+
+    def stale(
+        self, active_rules: Set[str], known_rules: Set[str]
+    ) -> Iterator[Tuple[AllowEntry, str]]:
+        """Yield (entry, rule-id) for every allow that masked nothing.
+
+        A rule id is only judged when it was actually *running* this pass
+        (``active_rules``) or is unknown to the registry entirely (a typo
+        or a rule that no longer exists — definitionally stale).
+        """
+        for entry in self.entries:
+            for rule in sorted(entry.rules):
+                if rule == "unused-allow":
+                    continue  # the meta-rule cannot mask ordinary findings
+                if rule in entry.used:
+                    continue
+                if rule in known_rules and rule not in active_rules:
+                    continue  # not judged this pass: can't tell if it's stale
+                yield entry, rule
 
 
 class ModuleContext:
     """Everything a rule needs to inspect one parsed module."""
 
-    def __init__(self, path: str, source: str, relname: Optional[str] = None):
+    def __init__(self, path: str, source: str, relname: Optional[str] = None) -> None:
         self.path = path
         #: Forward-slash path used for module-identity checks (exemptions).
         self.relname = (relname or path).replace("\\", "/")
@@ -147,12 +254,43 @@ class Rule:
 
     id: str = ""
     summary: str = ""
+    #: "module" rules see one file; "program" rules see the whole tree.
+    scope: str = "module"
 
     def check(self, ctx: ModuleContext) -> Iterable[Violation]:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
     def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            snippet=ctx.snippet(node),
+        )
+
+
+class ProgramRule(Rule):
+    """A rule that inspects the whole-program index instead of one module.
+
+    Subclasses implement :meth:`check_program`; :meth:`check` is not used.
+    The runner applies per-module suppressions afterwards exactly as for
+    module rules (an allow comment on the flagged line still works).
+    """
+
+    scope = "program"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Violation]:  # pragma: no cover
+        return ()
+
+    def check_program(self, index: "ProgramIndex") -> Iterable[Violation]:
+        raise NotImplementedError
+
+    def program_violation(
+        self, ctx: ModuleContext, node: ast.AST, message: str
+    ) -> Violation:
         return Violation(
             rule=self.id,
             path=ctx.path,

@@ -1,17 +1,27 @@
-"""Rule registry: every shipped simlint rule, in reporting order."""
+"""Rule registry: every shipped simlint rule, in reporting order.
+
+``ALL_RULES`` holds the per-module rules (including the ``unused-allow``
+hygiene rule); ``PROGRAM_RULES`` holds the whole-program ownership rules,
+run only when the caller opts in (``--whole-program`` or an explicit
+``--select``).  ``RULES_BY_ID`` spans both.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.analysis.simlint.core import Rule
+from repro.analysis.simlint.core import ProgramRule, Rule
 from repro.analysis.simlint.rules import (
+    cycles,
     determinism,
+    hygiene,
     io,
     numerics,
     packets,
     parallelism,
     seqspace,
+    slabrefs,
+    xcpu,
 )
 
 ALL_RULES: Tuple[Rule, ...] = (
@@ -21,8 +31,19 @@ ALL_RULES: Tuple[Rule, ...] = (
     *numerics.RULES,
     *parallelism.RULES,
     *io.RULES,
+    *hygiene.RULES,
 )
 
-RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in ALL_RULES}
+PROGRAM_RULES: Tuple[ProgramRule, ...] = (
+    *xcpu.RULES,
+    *cycles.RULES,
+    *slabrefs.RULES,
+)
 
-assert len(RULES_BY_ID) == len(ALL_RULES), "duplicate rule id in registry"
+RULES_BY_ID: Dict[str, Rule] = {
+    rule.id: rule for rule in (*ALL_RULES, *PROGRAM_RULES)
+}
+
+assert len(RULES_BY_ID) == len(ALL_RULES) + len(
+    PROGRAM_RULES
+), "duplicate rule id in registry"

@@ -1,0 +1,63 @@
+"""uncharged-cycles: dispatched hot-path work must reach ``Cpu.consume``.
+
+Every cycle the paper's figures account for flows through
+``Cpu.consume(cycles, category)``.  A handler that the machine dispatches
+as CPU work — an ISR or reset submitted via ``cpu.submit(...)``, or a
+``softirq_*`` body — and that mutates machine state without *any* path to
+``consume`` in the call graph is doing work the profiler never sees:
+free cycles that corrupt the cycles/packet story.
+
+The rule roots on the dispatch seams themselves (``submit`` callbacks
+resolved through the receiver's class, plus every method named
+``softirq_*``), walks the resolved call graph, and flags a root whose
+entire reachable subgraph mutates state yet never calls ``consume``.
+Any unresolved dynamic call in the subgraph (``self.fn()`` trampolines,
+stored callbacks) makes the rule stand down for that root — the unknown
+callee may well charge cycles, and over-approximation must produce
+silence, not noise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator
+
+from repro.analysis.simlint.core import ProgramRule, Violation
+from repro.analysis.simlint.program import FunctionInfo, ProgramIndex
+
+
+class UnchargedCyclesRule(ProgramRule):
+    id = "uncharged-cycles"
+    summary = (
+        "CPU-dispatched handlers (submit callbacks, softirq_* bodies) that "
+        "mutate machine state must reach Cpu.consume in the call graph"
+    )
+
+    def check_program(self, index: ProgramIndex) -> Iterator[Violation]:
+        roots: Dict[str, FunctionInfo] = {}
+        for info in index.functions.values():
+            for target in sorted(info.submit_targets):
+                for resolved in index.resolve_self_call(info, target):
+                    roots[resolved.qualname] = resolved
+            if info.name.startswith("softirq_") and info.class_name is not None:
+                roots[info.qualname] = info
+
+        for qualname in sorted(roots):
+            root = roots[qualname]
+            subgraph = index.reachable([qualname])
+            if any(f.calls_consume for f in subgraph):
+                continue
+            if any(f.unresolved_calls for f in subgraph):
+                continue  # an unknown callee may charge cycles: stand down
+            if not any(f.mutates_state for f in subgraph):
+                continue  # pure bookkeeping (e.g. a counter-free no-op)
+            yield self.program_violation(
+                root.ctx,
+                root.node,
+                f"`{qualname}` runs as dispatched CPU work and mutates "
+                "machine state, but nothing it reaches ever calls "
+                "Cpu.consume — these cycles are invisible to the profiler "
+                "and corrupt the cycles/packet accounting",
+            )
+
+
+RULES: Iterable[ProgramRule] = (UnchargedCyclesRule(),)

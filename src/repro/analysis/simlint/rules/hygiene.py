@@ -1,0 +1,58 @@
+"""Lint-hygiene rules: the suppression machinery polices itself.
+
+``unused-allow`` is the analogue of ruff's unused-``noqa`` check: a
+``# simlint: allow(...)`` comment that no longer masks any finding is
+stale — either the offending code was fixed (delete the comment) or the
+rule id is a typo / no longer exists (so the allow never did anything).
+Stale allows are dangerous precisely because they look load-bearing: the
+next editor assumes the line still violates something and preserves the
+comment forever.
+
+The detection itself lives in the runner (it needs to know which rules
+actually *ran* and what each suppression masked across both the module
+and whole-program passes); this class contributes the stable id, the
+summary for ``--list-rules``, and the violation constructor.  A rule id
+that is known to the registry but not part of the current ``--select``
+set is never judged — the pass can't tell whether the allow would have
+masked something.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.simlint.core import AllowEntry, ModuleContext, Rule, Violation
+
+
+class UnusedAllowRule(Rule):
+    id = "unused-allow"
+    summary = (
+        "flag `# simlint: allow(...)` suppressions that no longer mask any "
+        "finding (stale or misspelled rule ids included)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Violation]:
+        # Findings are synthesized by the runner after all other rules (and
+        # the whole-program pass, when active) have marked the suppressions
+        # they hit; a per-module check pass has nothing to do here.
+        return iter(())
+
+    def stale_violation(
+        self, path: str, entry: AllowEntry, rule_id: str, snippet: str
+    ) -> Violation:
+        scope = "file-allow" if entry.file_scope else "allow"
+        return Violation(
+            rule=self.id,
+            path=path,
+            line=entry.line,
+            col=0,
+            message=(
+                f"`# simlint: {scope}({rule_id})` suppresses nothing — the "
+                "finding it masked is gone (or the rule id is unknown); "
+                "remove the stale allow"
+            ),
+            snippet=snippet,
+        )
+
+
+RULES: Iterable[Rule] = (UnusedAllowRule(),)

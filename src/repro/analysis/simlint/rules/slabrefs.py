@@ -1,0 +1,97 @@
+"""slab-escape: no reference to a slab packet may survive its release.
+
+:class:`repro.buffers.slab.PacketSlab` recycles packet shells: once
+``slab.release(pkt)`` returns, ``pkt`` may be handed to a completely
+different connection by the next ``acquire()``.  Reading it after the
+release is the simulation's use-after-free — the runtime sanitizer's
+deep audit catches *resident* freed packets (in rings, LRO tables,
+aggregation queues), but a local variable that outlives the release is
+invisible to it.  This rule closes that gap statically.
+
+Mechanics: within each function, every call of the shape
+``<something-slab-ish>.release(name)`` (the receiver chain must mention
+``slab`` — ``self.packet_slab.release(pkt)``, ``slab.release(frag)``;
+unrelated ``release`` methods are ignored) starts a tainted region for
+``name``.  Any later load of the name is flagged unless a rebinding
+assignment intervenes.  Loads on the release line itself (the argument)
+are exempt, as is the idiomatic loop ``for frag in ...: slab.release(frag)``
+where the loop variable is rebound before any reuse.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.simlint.core import ProgramRule, Violation, attribute_chain
+from repro.analysis.simlint.program import FunctionInfo, ProgramIndex
+
+
+def _is_slab_release(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "release":
+        return False
+    root, attrs = attribute_chain(func)
+    receiver_names = list(attrs[:-1])
+    if root is not None:
+        receiver_names.append(root)
+    return any("slab" in name for name in receiver_names)
+
+
+class SlabEscapeRule(ProgramRule):
+    id = "slab-escape"
+    summary = (
+        "a reference to a slab packet must not be used after "
+        "slab.release(pkt) — the shell may already be recycled"
+    )
+
+    def check_program(self, index: ProgramIndex) -> Iterator[Violation]:
+        for qualname in sorted(index.functions):
+            info = index.functions[qualname]
+            yield from self._check_function(info)
+
+    def _check_function(self, info: FunctionInfo) -> Iterator[Violation]:
+        releases: List[Tuple[str, int]] = []
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and _is_slab_release(node)
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Name)
+            ):
+                releases.append((node.args[0].id, node.lineno))
+        if not releases:
+            return
+
+        names = {name for name, _line in releases}
+        loads: List[ast.Name] = []
+        stores: List[ast.Name] = []
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Name) and node.id in names:
+                if isinstance(node.ctx, ast.Store):
+                    stores.append(node)
+                elif isinstance(node.ctx, ast.Load):
+                    loads.append(node)
+
+        for name, release_line in releases:
+            for load in sorted(
+                (n for n in loads if n.id == name and n.lineno > release_line),
+                key=lambda n: (n.lineno, n.col_offset),
+            ):
+                rebound = any(
+                    s.id == name and release_line < s.lineno <= load.lineno
+                    for s in stores
+                )
+                if rebound:
+                    continue
+                yield self.program_violation(
+                    info.ctx,
+                    load,
+                    f"`{name}` was released to the packet slab on line "
+                    f"{release_line} but is used here — the shell may "
+                    "already be recycled into another flow "
+                    "(use-after-free on the slab freelist)",
+                )
+
+
+RULES: Iterable[ProgramRule] = (SlabEscapeRule(),)

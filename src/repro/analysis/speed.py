@@ -158,6 +158,50 @@ def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
     }
 
 
+def measure_racecheck_overhead(quick: bool = True) -> Dict[str, object]:
+    """Measure what :mod:`repro.analysis.racecheck` costs — off and on.
+
+    Runs the 4-queue multi-queue streaming point (the only rig with
+    cross-CPU ownership to check) twice: with no checker installed, then
+    with the race detector watching every queue, socket, and softirq port.
+    Unlike the observability probe, *every* measured field must be
+    bit-identical — the checker consumes no cycles and schedules nothing,
+    so even ``events_fired`` is part of the neutrality verdict.  The
+    ``on`` wall time is informational: checking is allowed to cost wall
+    seconds, never behaviour.
+    """
+    from repro.analysis import racecheck
+
+    duration, warmup = window(quick)
+    config = linux_smp_config()
+    opt = OptimizationConfig.optimized()
+
+    off = measure_mq_stream_speed(
+        config, opt, queues=4, duration=duration, warmup=warmup
+    )
+    handle = racecheck.install()
+    try:
+        on = measure_mq_stream_speed(
+            config, opt, queues=4, duration=duration, warmup=warmup
+        )
+        stats = [c.stats for c in handle.checkers if c.stats.accesses_noted]
+    finally:
+        racecheck.uninstall(handle)
+
+    neutral_keys = [k for k in off if k not in ("wall_s", "events_per_sec")]
+    return {
+        "probe": "racecheck-overhead",
+        "quick": quick,
+        "off": off,
+        "on": on,
+        "overhead_ratio": on["wall_s"] / off["wall_s"] if off["wall_s"] > 0 else 0.0,
+        "accesses_noted": sum(s.accesses_noted for s in stats),
+        "foreign_accesses": sum(s.foreign_accesses for s in stats),
+        "objects_tagged": sum(s.objects_tagged for s in stats),
+        "behavior_neutral": all(off[k] == on[k] for k in neutral_keys),
+    }
+
+
 def measure_many_conn_speed(
     n_connections: int,
     duration: float = 0.05,

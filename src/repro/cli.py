@@ -19,6 +19,12 @@ including sweep worker processes.  Expect a slowdown; any protocol or
 conservation violation aborts with a precise error instead of a wrong
 number.
 
+``--racecheck`` (same subcommands) installs the cross-CPU ownership race
+detector (:mod:`repro.analysis.racecheck`): any access to another CPU's
+queue state that is not charged through the CrossCpuCostModel (or
+explicitly handed off) aborts with both sim-time stacks.  Checked runs
+produce bit-identical rows; composes with ``--sanitize``.
+
 Wire-impairment flags (on ``run``; see :mod:`repro.faults`): ``--drop`` /
 ``--reorder`` / ``--dup`` apply independent per-frame probabilities to
 every inbound link of every rig the experiment builds; ``--fault-plan
@@ -186,6 +192,11 @@ def build_parser() -> argparse.ArgumentParser:
         "install the runtime invariant checker (repro.analysis.sanitizer) "
         "for this run, including sweep workers"
     )
+    racecheck_help = (
+        "install the cross-CPU ownership race detector "
+        "(repro.analysis.racecheck) for this run, including sweep workers; "
+        "results are bit-identical to an unchecked run"
+    )
 
     def add_obs_flags(sub_parser) -> None:
         sub_parser.add_argument(
@@ -209,6 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", choices=sorted(REGISTRY))
     p_run.add_argument("--quick", action="store_true", help="short measurement windows")
     p_run.add_argument("--sanitize", action="store_true", help=sanitize_help)
+    p_run.add_argument("--racecheck", action="store_true", help=racecheck_help)
     p_run.add_argument("--csv", metavar="PATH", help="also write rows as CSV")
     p_run.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -253,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all = sub.add_parser("all", help="run every experiment")
     p_all.add_argument("--quick", action="store_true")
     p_all.add_argument("--sanitize", action="store_true", help=sanitize_help)
+    p_all.add_argument("--racecheck", action="store_true", help=racecheck_help)
     p_all.add_argument("--csv-dir", metavar="DIR")
     p_all.add_argument("--jobs", type=int, default=None, metavar="N")
     add_obs_flags(p_all)
@@ -262,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("output", nargs="?", default="EXPERIMENTS.md")
     p_rep.add_argument("--quick", action="store_true")
     p_rep.add_argument("--sanitize", action="store_true", help=sanitize_help)
+    p_rep.add_argument("--racecheck", action="store_true", help=racecheck_help)
     p_rep.set_defaults(fn=_cmd_report)
     return parser
 
@@ -275,6 +289,11 @@ def main(argv: List[str] = None) -> int:
         # Sweep worker processes read this in their pool initializer so the
         # sanitizer follows the run across process boundaries.
         os.environ["REPRO_SANITIZE"] = "1"
+    if getattr(args, "racecheck", False):
+        from repro.analysis.racecheck import install as install_racecheck
+
+        install_racecheck()
+        os.environ["REPRO_RACECHECK"] = "1"
     return args.fn(args)
 
 

@@ -82,6 +82,11 @@ class E1000Driver:
         self.name = name
         self.stats = DriverStats()
         self._tr = active_tracer()
+        #: Race checker seam (None unless --racecheck), same idiom as _tr.
+        self._rc = None
+        #: The CPU index this queue's MSI-X vector targets: its ring is
+        #: owned by that CPU (drains from anywhere else are cross-CPU).
+        self.queue.owner_cpu = queue_index
         # Watchdog state (opt-in: start_watchdog()).  Disarmed, the driver
         # schedules zero extra events and the clean path is bit-identical.
         self._watchdog_armed = False
@@ -106,6 +111,10 @@ class E1000Driver:
         if tr is not None:
             isr_start = max(self.cpu.busy_until, self.cpu.sim.now)
         consume(costs.driver_irq, Category.DRIVER)
+        rc = self._rc
+        if rc is not None:
+            rc.note_ring_access(self.queue, self.cpu)
+            rc.note_port_access(self.kernel, rc.cpu_index_of(self.cpu))
         pkts = self.queue.ring.drain()
         self.queue.last_drain_count = len(pkts)
         if not pkts:
@@ -231,6 +240,8 @@ class E1000Driver:
             for out in queue.lro.flush():
                 if not ring.post(out):
                     nic.stats.rx_dropped_ring_full += 1
+        if self._rc is not None:
+            self._rc.note_ring_access(queue, self.cpu)
         stale = ring.drain()
         self.stats.rx_dropped_reset += len(stale)
         if self.aggregation:

@@ -59,7 +59,7 @@ class CoalesceGovernor:
         min_packets: int = 64,
         quiet_period_s: float = 2e-3,
         name: str = "governor",
-    ):
+    ) -> None:
         if not (0.0 < exit_threshold < enter_threshold <= 1.0):
             raise ValueError(
                 "need 0 < exit_threshold < enter_threshold <= 1 for hysteresis"

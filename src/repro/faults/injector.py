@@ -30,7 +30,7 @@ is the driver's job, not the injector's — the injector only breaks things.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.faults.plan import FaultPlan, FaultSpec
 from repro.obs.runtime import active_tracer
@@ -61,7 +61,7 @@ class FaultWindow:
 class FaultInjector:
     """Arms one plan against one machine (links/NICs/pool/drivers)."""
 
-    def __init__(self, sim: Simulator, machine, plan: FaultPlan):
+    def __init__(self, sim: Simulator, machine: Any, plan: FaultPlan) -> None:
         self.sim = sim
         self.machine = machine
         self.plan = plan
@@ -88,15 +88,15 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # target enumeration
     # ------------------------------------------------------------------
-    def _links(self, spec: FaultSpec):
+    def _links(self, spec: FaultSpec) -> List[Any]:
         links = getattr(self.machine, "links", ())
         return [link for i, link in enumerate(links) if spec.hits(i)]
 
-    def _nics(self, spec: FaultSpec):
+    def _nics(self, spec: FaultSpec) -> List[Any]:
         return [nic for i, nic in enumerate(self.machine.nics) if spec.hits(i)]
 
-    def _drivers(self):
-        flat = []
+    def _drivers(self) -> List[Any]:
+        flat: List[Any] = []
         for entry in self.machine.drivers:
             if isinstance(entry, (list, tuple)):
                 flat.extend(entry)
@@ -104,7 +104,7 @@ class FaultInjector:
                 flat.append(entry)
         return flat
 
-    def _pools(self):
+    def _pools(self) -> List[Any]:
         """Every sk_buff pool on the machine (the Xen rig has two)."""
         machine = self.machine
         if hasattr(machine, "pool"):
@@ -118,7 +118,7 @@ class FaultInjector:
         return SeededRng(self.plan.seed, label)
 
     @staticmethod
-    def _ensure_link_rng(link, rng: SeededRng) -> None:
+    def _ensure_link_rng(link: Any, rng: SeededRng) -> None:
         """Impairment-free links are built without an RNG; give storm
         windows one without disturbing links that already have a stream."""
         if link.rng is None:
@@ -187,28 +187,28 @@ class FaultInjector:
         for li, link in enumerate(self._links(spec)):
             setattr(link, attr, self._saved.pop((index, li)))
 
-    def _begin_corrupt(self, index, spec, detail):
+    def _begin_corrupt(self, index: int, spec: FaultSpec, detail: Dict[str, float]) -> None:
         detail["corrupt_prob"] = spec.intensity
         self._begin_prob_storm(index, spec, "corrupt_prob")
 
-    def _end_corrupt(self, index, spec):
+    def _end_corrupt(self, index: int, spec: FaultSpec) -> None:
         self._end_prob_storm(index, spec, "corrupt_prob")
 
-    def _begin_reorder_storm(self, index, spec, detail):
+    def _begin_reorder_storm(self, index: int, spec: FaultSpec, detail: Dict[str, float]) -> None:
         detail["reorder_prob"] = spec.intensity
         for link in self._links(spec):
             if "reorder_delay_s" in spec.params:
                 link.reorder_delay_s = spec.params["reorder_delay_s"]
         self._begin_prob_storm(index, spec, "reorder_prob")
 
-    def _end_reorder_storm(self, index, spec):
+    def _end_reorder_storm(self, index: int, spec: FaultSpec) -> None:
         self._end_prob_storm(index, spec, "reorder_prob")
 
-    def _begin_dup_storm(self, index, spec, detail):
+    def _begin_dup_storm(self, index: int, spec: FaultSpec, detail: Dict[str, float]) -> None:
         detail["dup_prob"] = spec.intensity
         self._begin_prob_storm(index, spec, "dup_prob")
 
-    def _end_dup_storm(self, index, spec):
+    def _end_dup_storm(self, index: int, spec: FaultSpec) -> None:
         self._end_prob_storm(index, spec, "dup_prob")
 
     # ---- ring_storm --------------------------------------------------

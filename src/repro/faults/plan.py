@@ -64,7 +64,7 @@ class FaultSpec:
     target: str = "*"
     params: Dict[str, float] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
@@ -94,7 +94,7 @@ class FaultPlan:
     seed: int = 20080622  # the paper's USENIX ATC publication date
     name: str = "plan"
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         # JSON loads and callers may hand in lists; store a tuple so plans
         # are hashable and safely shared across sweep points.
         if not isinstance(self.specs, tuple):
@@ -164,7 +164,7 @@ class ImpairmentConfig:
     seed: int = 971
     plan: Optional[FaultPlan] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         for label, p in (("drop", self.drop), ("reorder", self.reorder), ("dup", self.dup)):
             if not (0.0 <= p < 1.0):
                 raise ValueError(f"{label} probability must be in [0, 1) (got {p})")

@@ -138,6 +138,9 @@ class MqKernel(Kernel):
         self.cross = cross if cross is not None else CrossCpuCostModel()
         self._next_app_cpu = 0
         self.aggregators: list = []
+        #: Race checker seam (None unless --racecheck): same idiom as the
+        #: tracer's ``_tr`` — one attribute load on the charged paths.
+        self._rc = None
         super().__init__(sim, self.cpus[0], config, opt, pool=pool, name=name)
         self.timers = MqKernelTimers(sim, self)
 
@@ -197,6 +200,8 @@ class MqKernel(Kernel):
             # ``key`` is the local 4-tuple; the NIC steers on the wire
             # (client -> server) direction, which is its reverse.
             self.steering.note_consumer(key.reverse(), index)
+        if self._rc is not None:
+            self._rc.tag_socket(sock, index)
         return sock
 
     def _demux(self, pkt: Packet):
@@ -206,6 +211,8 @@ class MqKernel(Kernel):
             # CPU: pull it across caches (§2.3's contention, priced per
             # line instead of as a blanket factor).
             self.cpu.consume(self.cross.bounce_cycles(), Category.XCPU)
+            if self._rc is not None:
+                self._rc.note_socket_access(sock, self._current_idx, "demux")
             tr = self._tr
             if tr is not None:
                 tr.event(
@@ -239,6 +246,8 @@ class MqKernel(Kernel):
                     self.cpus[softirq_idx].consume(self.cross.ipi_cycles, Category.XCPU)
                     self._current_idx = app_idx
                     self.cpu.consume(self.cross.remote_wakeup_cycles, Category.XCPU)
+                    if self._rc is not None:
+                        self._rc.note_socket_access(sock, softirq_idx, "app wakeup")
                     if tr is not None:
                         tr.event(
                             Stage.XCPU_WAKEUP,

@@ -18,7 +18,7 @@ charged mechanistically by :class:`~repro.mq.costs.CrossCpuCostModel`
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.buffers.pool import BufferPool
 from repro.buffers.slab import PacketSlab
@@ -189,6 +189,25 @@ class MqReceiverMachine:
         return nic
 
     # ------------------------------------------------------------------
+    def ownership_map(self) -> List[Tuple[str, int]]:
+        """The static part of the rig's CPU-ownership table: (component,
+        owning CPU index) for every ring, aggregation engine, and softirq
+        path.  Sockets join the table dynamically at accept time (see
+        :meth:`MqKernel._accept_socket` and :mod:`repro.analysis.racecheck`,
+        which enforces the table at run time).
+        """
+        table: List[Tuple[str, int]] = []
+        for nic_drivers in self.drivers:
+            for driver in nic_drivers:
+                table.append(
+                    (f"{driver.nic.name}.q{driver.queue.index} ring", driver.queue.owner_cpu)
+                )
+                table.append((f"{driver.name} softirq", driver.kernel.cpu_index))
+        for aggregator in self.kernel.aggregators:
+            owner = next(i for i, c in enumerate(self.cpus) if c is aggregator.cpu)
+            table.append((aggregator.name, owner))
+        return table
+
     def listen(self, port: int, on_accept=None) -> None:
         self.kernel.listen(port, on_accept)
 

@@ -29,6 +29,7 @@ class RxQueue:
         "ring",
         "lro",
         "driver",
+        "owner_cpu",
         "interrupts",
         "last_drain_count",
         "_irq_pending",
@@ -44,6 +45,7 @@ class RxQueue:
         self.ring = RxRing(ring_size)
         self.lro = lro
         self.driver = None  # set via Nic.bind_driver
+        self.owner_cpu = None  # CPU index of the MSI-X target; set by the driver
         self.interrupts = 0
         self.last_drain_count = 0
         self._irq_pending = False

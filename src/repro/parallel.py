@@ -60,11 +60,15 @@ def ensure_picklable_worker(worker: Callable) -> None:
 
 
 def _pool_worker_init() -> None:
-    """Executed in each pool process: mirror the parent's sanitizer state."""
+    """Executed in each pool process: mirror the parent's checker state."""
     if os.environ.get("REPRO_SANITIZE") == "1":
         from repro.analysis.sanitizer import install
 
         install()
+    if os.environ.get("REPRO_RACECHECK") == "1":
+        from repro.analysis.racecheck import install as install_racecheck
+
+        install_racecheck()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:

@@ -156,8 +156,12 @@ class Simulator:
         #: the wheel origin).  Advisory: staleness only costs a rejected
         #: try_insert, never correctness.  +inf disables the wheel entirely.
         self._wheel_nearline: float = _NEAR_TICKS * TICK_S if use_wheel else _INF
-        #: Single-slot observer invoked after every fired event (see
-        #: :meth:`set_after_event_hook`).  ``None`` on the normal fast path.
+        #: Registered after-event observers, in installation order (see
+        #: :meth:`push_after_event_hook`).
+        self._after_event_hooks: List[Callable[[], None]] = []
+        #: Compiled dispatch for the hot loop: ``None`` when no observers
+        #: are registered (the normal fast path), the hook itself for one,
+        #: a closure looping over a tuple for several.
         self._after_event: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
@@ -424,19 +428,48 @@ class Simulator:
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
-    def set_after_event_hook(self, hook: Callable[[], None]) -> None:
-        """Install the (single) observer called after every fired event.
+    def push_after_event_hook(self, hook: Callable[[], None]) -> None:
+        """Register an observer called after every fired event.
 
-        Used by the runtime sanitizer (:mod:`repro.analysis.sanitizer`) to
-        audit invariants between events.  Only one observer may be installed
-        at a time so the hot loop stays a single None-check.
+        Used by the runtime sanitizer (:mod:`repro.analysis.sanitizer`) and
+        the race checker (:mod:`repro.analysis.racecheck`); they chain in
+        installation order.  The hot loop stays a single None-check: with
+        no observers the compiled ``_after_event`` slot is ``None``, with
+        one it is the hook itself, and only with several does dispatch go
+        through a loop.  Re-pushing an already-registered hook is a no-op.
         """
-        if self._after_event is not None and self._after_event is not hook:
-            raise SimulationError("an after-event hook is already installed")
-        self._after_event = hook
+        if hook in self._after_event_hooks:
+            return
+        self._after_event_hooks.append(hook)
+        self._rebuild_after_event()
+
+    # Historical name, from when only one observer could be installed.
+    set_after_event_hook = push_after_event_hook
+
+    def remove_after_event_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister one observer; unknown hooks are ignored."""
+        if hook in self._after_event_hooks:
+            self._after_event_hooks.remove(hook)
+            self._rebuild_after_event()
 
     def clear_after_event_hook(self) -> None:
+        """Unregister every observer."""
+        self._after_event_hooks.clear()
         self._after_event = None
+
+    def _rebuild_after_event(self) -> None:
+        hooks = tuple(self._after_event_hooks)
+        if not hooks:
+            self._after_event = None
+        elif len(hooks) == 1:
+            self._after_event = hooks[0]
+        else:
+
+            def dispatch() -> None:
+                for hook in hooks:
+                    hook()
+
+            self._after_event = dispatch
 
     # ------------------------------------------------------------------
     # introspection

@@ -16,6 +16,10 @@ from repro.sim.engine import Simulator
 #: tier-1 suite once in this mode.
 _SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
 
+#: ``REPRO_RACECHECK=1 pytest`` likewise runs the suite with the cross-CPU
+#: ownership race detector installed (see repro.analysis.racecheck).
+_RACECHECK = os.environ.get("REPRO_RACECHECK") == "1"
+
 
 @pytest.fixture(autouse=_SANITIZE)
 def _sanitized_run():
@@ -23,6 +27,20 @@ def _sanitized_run():
         yield
         return
     from repro.analysis.sanitizer import install, uninstall
+
+    handle = install()
+    try:
+        yield
+    finally:
+        uninstall(handle)
+
+
+@pytest.fixture(autouse=_RACECHECK)
+def _racechecked_run():
+    if not _RACECHECK:
+        yield
+        return
+    from repro.analysis.racecheck import install, uninstall
 
     handle = install()
     try:

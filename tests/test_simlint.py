@@ -9,7 +9,7 @@ import pytest
 
 from repro.analysis.simlint import lint_source
 from repro.analysis.simlint.cli import main as simlint_main
-from repro.analysis.simlint.rules import ALL_RULES, RULES_BY_ID
+from repro.analysis.simlint.rules import ALL_RULES, PROGRAM_RULES, RULES_BY_ID
 
 
 def rules_fired(source: str, relname: str = "src/repro/some/module.py"):
@@ -468,8 +468,11 @@ class TestFramework:
             "float-eq",
             "unpicklable-worker",
             "hot-path-io",
+            "unused-allow",
         }
-        assert set(RULES_BY_ID) == ids
+        program_ids = {rule.id for rule in PROGRAM_RULES}
+        assert program_ids == {"cross-cpu-write", "uncharged-cycles", "slab-escape"}
+        assert set(RULES_BY_ID) == ids | program_ids
 
     def test_violation_carries_location_and_snippet(self):
         _, violations = rules_fired("""
@@ -498,19 +501,19 @@ class TestCli:
     def test_bad_file_exits_one(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nt = time.time()\n")
-        assert simlint_main([str(tmp_path)]) == 1
+        assert simlint_main(["--no-cache", str(tmp_path)]) == 1
         assert "[wall-clock]" in capsys.readouterr().out
 
     def test_clean_file_exits_zero(self, tmp_path, capsys):
         good = tmp_path / "good.py"
         good.write_text("def f(sim):\n    return sim.now\n")
-        assert simlint_main([str(tmp_path)]) == 0
+        assert simlint_main(["--no-cache", str(tmp_path)]) == 0
         assert "clean" in capsys.readouterr().out
 
     def test_json_format(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
         bad.write_text("import random\n")
-        assert simlint_main(["--format", "json", str(bad)]) == 1
+        assert simlint_main(["--no-cache", "--format", "json", str(bad)]) == 1
         payload = json.loads(capsys.readouterr().out)
         assert payload["count"] == 1
         assert payload["violations"][0]["rule"] == "unseeded-random"
@@ -518,8 +521,11 @@ class TestCli:
     def test_select_subset(self, tmp_path):
         bad = tmp_path / "bad.py"
         bad.write_text("import time\nimport random\nt = time.time()\n")
-        assert simlint_main(["--select", "unseeded-random", str(bad)]) == 1
-        assert simlint_main(["--select", "import-time-schedule", str(bad)]) == 0
+        assert simlint_main(["--no-cache", "--select", "unseeded-random", str(bad)]) == 1
+        assert (
+            simlint_main(["--no-cache", "--select", "import-time-schedule", str(bad)])
+            == 0
+        )
 
     def test_unknown_rule_usage_error(self, tmp_path):
         assert simlint_main(["--select", "no-such-rule", str(tmp_path)]) == 2
@@ -528,11 +534,157 @@ class TestCli:
         assert simlint_main([]) == 2
 
     def test_repo_source_tree_is_clean(self):
-        assert simlint_main(["src/"]) == 0
+        assert simlint_main(["--no-cache", "src/"]) == 0
+
+
+# ----------------------------------------------------------------------
+# unused-allow (stale suppressions)
+# ----------------------------------------------------------------------
+class TestUnusedAllow:
+    def test_stale_line_allow_fires(self):
+        assert_fires("unused-allow", """
+            def f(sim):
+                return sim.now  # simlint: allow(wall-clock) -- long since fixed
+        """)
+
+    def test_stale_file_allow_fires(self):
+        assert_fires("unused-allow", """
+            # simlint: file-allow(wall-clock) -- module no longer reads clocks
+            def f(sim):
+                return sim.now
+        """)
+
+    def test_used_allow_clean(self):
+        assert_clean("unused-allow", """
+            import time
+            def f():
+                return time.time()  # simlint: allow(wall-clock) -- harness
+        """)
+
+    def test_unknown_rule_id_is_stale(self):
+        fired, violations = rules_fired("""
+            def f(sim):
+                return sim.now  # simlint: allow(no-such-rule)
+        """)
+        assert "unused-allow" in fired
+        [v] = [v for v in violations if v.rule == "unused-allow"]
+        assert "no-such-rule" in v.message
+
+    def test_not_judged_when_rule_not_running(self):
+        # wall-clock is known but not selected: the pass can't tell whether
+        # the allow would have masked something, so it stays quiet.
+        source = textwrap.dedent("""
+            def f(sim):
+                return sim.now  # simlint: allow(wall-clock)
+        """)
+        rules = [RULES_BY_ID["unseeded-random"], RULES_BY_ID["unused-allow"]]
+        violations = lint_source(source, rules=rules)
+        assert [v.rule for v in violations] == []
+
+    def test_docstring_allow_is_inert(self):
+        # A quoted allow marker (docs showing the syntax) neither
+        # suppresses a real finding nor registers as a stale allow.
+        fired, _ = rules_fired('''
+            import time
+            def f():
+                """Example: x = time.time()  # simlint: allow(wall-clock)"""
+                return time.time()
+        ''')
+        assert "wall-clock" in fired
+        assert "unused-allow" not in fired
+
+    def test_stale_allow_can_itself_be_allowed(self):
+        assert_clean("unused-allow", """
+            def f(sim):
+                return sim.now  # simlint: allow(unused-allow, wall-clock) -- keep
+        """)
+
+    def test_per_rule_staleness_in_multi_rule_allow(self):
+        # One comment, one used id, one stale id: only the stale one fires.
+        fired, violations = rules_fired("""
+            import time
+            def f():
+                return time.time()  # simlint: allow(wall-clock, float-eq)
+        """)
+        stale = [v for v in violations if v.rule == "unused-allow"]
+        assert len(stale) == 1
+        assert "float-eq" in stale[0].message
+
+
+# ----------------------------------------------------------------------
+# content-hash result cache
+# ----------------------------------------------------------------------
+class TestLintCache:
+    def _write_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text(
+            "import time\n"
+            "def f():\n"
+            "    return time.time()  # simlint: allow(float-eq)\n"
+        )
+        (tmp_path / "good.py").write_text("def f(sim):\n    return sim.now\n")
+
+    def test_second_run_hits_and_matches(self, tmp_path):
+        from repro.analysis.simlint.cache import LintCache
+        from repro.analysis.simlint.runner import lint_paths
+
+        self._write_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        first = lint_paths([str(tmp_path)], cache=LintCache(cache_path))
+        warm = LintCache(cache_path)
+        second = lint_paths([str(tmp_path)], cache=warm)
+        assert [v.to_dict() for v in first] == [v.to_dict() for v in second]
+        assert warm.hits >= 2  # both files served from cache
+        # The stale float-eq allow is still judged from cached use-marks.
+        assert any(v.rule == "unused-allow" for v in second)
+        assert any(v.rule == "wall-clock" for v in second)
+
+    def test_source_change_invalidates(self, tmp_path):
+        from repro.analysis.simlint.cache import LintCache
+        from repro.analysis.simlint.runner import lint_paths
+
+        self._write_tree(tmp_path)
+        cache_path = str(tmp_path / "cache.json")
+        lint_paths([str(tmp_path)], cache=LintCache(cache_path))
+        (tmp_path / "good.py").write_text("import random\n")
+        warm = LintCache(cache_path)
+        second = lint_paths([str(tmp_path)], cache=warm)
+        assert warm.misses >= 1
+        assert any(v.rule == "unseeded-random" for v in second)
+
+    def test_whole_program_pass_is_cached(self, tmp_path):
+        from repro.analysis.simlint.cache import LintCache
+        from repro.analysis.simlint.runner import default_rules, lint_paths
+
+        (tmp_path / "fix.py").write_text(
+            "class D:\n"
+            "    def kick(self):\n"
+            "        self.cpu.submit(self._isr)\n"
+            "    def _isr(self):\n"
+            "        self.stats.runs = 1\n"
+        )
+        cache_path = str(tmp_path / "cache.json")
+        rules = default_rules(whole_program=True)
+        first = lint_paths([str(tmp_path)], rules=rules, cache=LintCache(cache_path))
+        warm = LintCache(cache_path)
+        second = lint_paths([str(tmp_path)], rules=rules, cache=warm)
+        assert [v.to_dict() for v in first] == [v.to_dict() for v in second]
+        assert any(v.rule == "uncharged-cycles" for v in second)
+        assert warm.hits >= 2  # module entry + program entry
+
+    def test_cli_cache_roundtrip(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        cache_path = str(tmp_path / "cache.json")
+        argv = ["--cache-path", cache_path, str(bad)]
+        assert simlint_main(argv) == 1
+        assert simlint_main(argv) == 1  # served from cache, same verdict
+        bad.write_text("def f(sim):\n    return sim.now\n")
+        assert simlint_main(argv) == 0
 
 
 def test_every_rule_has_a_firing_test():
-    """Meta: the classes above cover each registered rule id."""
+    """Meta: the test suite covers each registered rule id (program rules
+    fire in tests/test_simlint_program.py)."""
     covered = {
         "wall-clock",
         "unseeded-random",
@@ -543,5 +695,9 @@ def test_every_rule_has_a_firing_test():
         "float-eq",
         "unpicklable-worker",
         "hot-path-io",
+        "unused-allow",
+        "cross-cpu-write",
+        "uncharged-cycles",
+        "slab-escape",
     }
     assert covered == set(RULES_BY_ID)
