@@ -1,0 +1,18 @@
+"""Benchmark: regenerate extension study extension_zero_copy."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_zero_copy_working_set_sweep(benchmark):
+    result = run_and_report(benchmark, "extension_zero_copy")
+    # Mechanistic expectations of the memory-hierarchy model: copy wins
+    # (cycles/byte) while the app working set fits the LLC, loses past it,
+    # and zcrx's charge does not depend on the working set at all.
+    small = [r for r in result.rows if r["system"] == "up"][0]
+    large = [r for r in result.rows if r["system"] == "up"][-1]
+    assert small["copy cyc/B"] < small["zcrx cyc/B"]
+    assert large["copy cyc/B"] > large["zcrx cyc/B"]
+    assert large["zcrx cyc/B"] == small["zcrx cyc/B"]
+    # On the CPU-bound mq4 rig the crossover shows in goodput too.
+    mq_large = [r for r in result.rows if r["system"] == "mq4"][-1]
+    assert mq_large["zcrx Mb/s"] > mq_large["copy Mb/s"]

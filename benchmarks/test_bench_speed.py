@@ -21,6 +21,7 @@ from repro.analysis.speed import (
     measure_racecheck_overhead,
     measure_slab_savings,
     measure_timer_churn_speed,
+    measure_zerocopy_speed,
 )
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -234,3 +235,48 @@ def test_slab_and_timer_structure(benchmark):
     assert churn["wheel"]["heap_peak"] < churn["heap_only"]["heap_peak"]
 
     _merge_bench({"slab": slab, "timer_churn": churn})
+
+
+def test_zerocopy_structure(benchmark):
+    """Memory-hierarchy copy-vs-zcrx physics on the UP rig.
+
+    The gates are *structural* — they hold on any machine, independent of
+    wall speed, because every cycle charge is deterministic:
+
+    * the copy must get more expensive per byte when the app working set
+      outgrows the LLC (DDIO crossover), and the zero-copy charge must
+      not care (page remapping never touches the payload);
+    * at the large working set zcrx must win on cycles/byte — the
+      mechanistic claim the extension experiment exists to demonstrate.
+
+    Wall seconds ride into BENCH_speed.json under ``"zerocopy"`` as the
+    perf-trajectory point; the strict gate re-asserts the structure from
+    the written file so a hand-edited baseline fails loudly.
+    """
+    report = benchmark.pedantic(
+        measure_zerocopy_speed, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    points = report["points"]
+    print(
+        f"\nzerocopy: copy {points['small_copy']['cyc_per_byte']:.2f} -> "
+        f"{points['large_copy']['cyc_per_byte']:.2f} cyc/B across the LLC "
+        f"boundary (x{report['copy_cold_penalty_ratio']:.2f}); "
+        f"zcrx flat at {points['large_zcrx']['cyc_per_byte']:.2f} cyc/B"
+    )
+    benchmark.extra_info["copy_cold_penalty_ratio"] = round(
+        report["copy_cold_penalty_ratio"], 3
+    )
+
+    assert points["large_copy"]["cyc_per_byte"] > points["small_copy"]["cyc_per_byte"]
+    assert points["large_copy"]["cyc_per_byte"] > points["large_zcrx"]["cyc_per_byte"]
+    assert points["large_zcrx"]["cyc_per_byte"] == points["small_zcrx"]["cyc_per_byte"]
+    assert points["large_zcrx"]["mbps"] > points["large_copy"]["mbps"]
+
+    merged = _merge_bench({"zerocopy": report})
+
+    if os.environ.get("REPRO_BENCH_STRICT") == "1":
+        stored = merged["zerocopy"]["points"]
+        assert (
+            stored["large_copy"]["cyc_per_byte"]
+            > stored["large_zcrx"]["cyc_per_byte"]
+        ), "stored zerocopy trajectory point lost the crossover"

@@ -24,7 +24,10 @@ fired simulation event is followed by an audit of the live protocol state —
 * graceful-degradation governors keep enter/exit counters consistent with
   their degraded flag, and aggregation engines account every packet even
   when degraded or allocation-starved;
-* the event heap's live-entry accounting matches its contents.
+* the event heap's live-entry accounting matches its contents;
+* DDIO I/O-way occupancy is conserved per NUMA node (counter == sum of
+  live placements, bounded by capacity, every live entry evictable);
+* a kernel in zero-copy receive mode never charges the copy path.
 
 Violations raise :class:`InvariantViolation` immediately, at the event that
 broke the contract — not thousands of events later when a throughput number
@@ -337,6 +340,10 @@ class SimSanitizer:
                 self._audit_driver_conservation(driver)
             for governor in self._machine_governors(machine):
                 self._audit_governor(governor)
+            mem = getattr(machine, "mem", None)
+            if mem is not None:
+                self._audit_mem(mem)
+            self._audit_zcrx(machine)
 
     @staticmethod
     def _machine_drivers(machine) -> List[object]:
@@ -511,6 +518,51 @@ class SimSanitizer:
             raise InvariantViolation(
                 f"{where}: holds a packet that is on the slab freelist "
                 f"(reuse-after-free): {pkt!r}"
+            )
+
+    def _audit_mem(self, mem) -> None:
+        """DDIO-way occupancy conservation per node: the occupancy counter
+        must equal the sum of live placement entries, stay within the I/O
+        way capacity, and the eviction FIFO must cover every live entry
+        (stale FIFO ids are allowed — lazy eviction — but a live entry
+        missing from the FIFO could never be evicted)."""
+        for node in mem.nodes:
+            live = sum(node.entries.values())
+            if node.io_occupancy != live:
+                raise InvariantViolation(
+                    f"mem node {node.index}: DDIO occupancy accounting broken "
+                    f"— counter says {node.io_occupancy} lines but live "
+                    f"entries sum to {live}"
+                )
+            if not (0 <= node.io_occupancy <= node.io_capacity_lines):
+                raise InvariantViolation(
+                    f"mem node {node.index}: DDIO occupancy "
+                    f"{node.io_occupancy} outside [0, "
+                    f"{node.io_capacity_lines}] I/O-way capacity"
+                )
+            if len(node.fifo) < len(node.entries):
+                raise InvariantViolation(
+                    f"mem node {node.index}: eviction FIFO holds "
+                    f"{len(node.fifo)} ids but {len(node.entries)} entries "
+                    "are live — some placement can never be evicted"
+                )
+
+    def _audit_zcrx(self, machine) -> None:
+        """A zero-copy kernel must never charge the copy path: the copy
+        branch counts every item it prices, so under ``opt.zero_copy`` that
+        counter staying zero is exactly the no-copy guarantee."""
+        kernel = getattr(machine, "kernel", None)
+        if kernel is None:
+            return
+        opt = getattr(kernel, "opt", None)
+        charged = getattr(kernel, "copy_charged_items", None)
+        if opt is None or charged is None:
+            return
+        if getattr(opt, "zero_copy", False) and charged > 0:
+            raise InvariantViolation(
+                f"{getattr(kernel, 'name', kernel)!r}: zero-copy receive "
+                f"charged the copy path for {charged} item(s) — "
+                "no-copy-under-zcrx broken"
             )
 
     def _audit_aggregator(self, aggregator) -> None:

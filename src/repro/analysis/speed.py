@@ -277,6 +277,7 @@ def measure_slab_savings(quick: bool = True) -> Dict[str, object]:
             recycled=slab.recycled,
             refused=slab.refused,
             overflow=slab.overflow,
+            misses=slab.misses,
             free_len=len(slab.free),
         )
     wheel = sim.wheel
@@ -288,6 +289,46 @@ def measure_slab_savings(quick: bool = True) -> Dict[str, object]:
             "purged": wheel.purged,
         }
     return report
+
+
+def measure_zerocopy_speed(quick: bool = True) -> Dict[str, object]:
+    """Time the memory-hierarchy copy-vs-zcrx probe and report its physics.
+
+    Runs the UP rig of ``extension_zero_copy`` at a sub-LLC and a
+    past-LLC working set in both receive modes.  Everything except the
+    wall figures is deterministic; the bench harness strict-gates the
+    *structure* of the result — copy cycles/byte must exceed zcrx
+    cycles/byte at the large working set (the crossover), and zcrx
+    cycles/byte must be working-set independent — because those hold on
+    any machine, unlike wall seconds.
+    """
+    from repro.experiments.extension_zero_copy import measure_mode
+
+    duration, warmup = window(quick)
+    small_ws = 256 << 10
+    large_ws = 16 << 20
+    t0 = time.perf_counter()
+    points = {
+        "small_copy": measure_mode("up", small_ws, 1, False, duration, warmup),
+        "small_zcrx": measure_mode("up", small_ws, 1, True, duration, warmup),
+        "large_copy": measure_mode("up", large_ws, 1, False, duration, warmup),
+        "large_zcrx": measure_mode("up", large_ws, 1, True, duration, warmup),
+    }
+    wall = time.perf_counter() - t0
+    return {
+        "probe": "zerocopy",
+        "quick": quick,
+        "wall_s": wall,
+        "small_working_set_bytes": small_ws,
+        "large_working_set_bytes": large_ws,
+        "points": points,
+        "copy_cold_penalty_ratio": (
+            points["large_copy"]["cyc_per_byte"]
+            / points["small_copy"]["cyc_per_byte"]
+            if points["small_copy"]["cyc_per_byte"] > 0
+            else 0.0
+        ),
+    }
 
 
 def measure_timer_churn_speed(

@@ -46,9 +46,12 @@ class BufferPool:
         memory pressure).
     """
 
-    def __init__(self, name: str = "skb", capacity: Optional[int] = None):
+    def __init__(self, name: str = "skb", capacity: Optional[int] = None, node: int = 0):
         self.name = name
         self.capacity = capacity
+        #: NUMA node this pool's sk_buff metadata lives on (memory-hierarchy
+        #: rigs create one pool per node; 0 everywhere else).
+        self.node = node
         self.stats = BufferPoolStats()
         #: Optional :class:`~repro.buffers.slab.PacketSlab`: when set, the
         #: packets of a freed skb (head + fragments) go to the freelist for

@@ -30,6 +30,7 @@ Safety:
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional
 
 from repro.net.packet import Packet
@@ -42,9 +43,14 @@ class SlabViolation(RuntimeError):
 class PacketSlab:
     """Bounded freelist of dead, length-only :class:`Packet` objects."""
 
-    __slots__ = ("capacity", "free", "recycled", "released", "refused", "overflow")
+    __slots__ = ("capacity", "free", "recycled", "released", "refused", "overflow", "misses")
 
-    def __init__(self, capacity: int = 8192):
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            # Large-working-set sweeps (zero-copy rigs pinning many pages)
+            # can outrun the default freelist; REPRO_SLAB_CAP resizes it
+            # without touching rig code.
+            capacity = int(os.environ.get("REPRO_SLAB_CAP", "8192"))
         self.capacity = capacity
         #: The freelist proper.  ``PacketTemplate.make`` pops from here.
         self.free: List[Packet] = []
@@ -56,6 +62,9 @@ class PacketSlab:
         self.refused = 0
         #: Release attempts dropped because the freelist was full.
         self.overflow = 0
+        #: Acquire attempts that found the freelist empty (the template fell
+        #: back to a fresh allocation — freelist misses).
+        self.misses = 0
 
     # ------------------------------------------------------------------
     def release(self, pkt: Packet) -> bool:
@@ -89,6 +98,7 @@ class PacketSlab:
         """
         free = self.free
         if not free:
+            self.misses += 1
             return None
         pkt = free.pop()
         pkt._slab_free = False

@@ -143,6 +143,8 @@ def _cmd_run(args) -> int:
         result = run_experiment(
             args.experiment, quick=args.quick, jobs=args.jobs, queues=args.queues,
             impairments=_impairments_from_args(args),
+            numa_nodes=args.numa_nodes,
+            zero_copy=True if args.zero_copy else None,
         )
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -253,6 +255,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--impair-seed", type=int, default=971, metavar="N",
         help="root seed for the per-link impairment RNG streams",
+    )
+    p_run.add_argument(
+        "--numa-nodes", type=int, default=None, metavar="N",
+        help="NUMA node count for the memory-hierarchy rig (experiments "
+        "that model it, e.g. extension_zero_copy; others reject it)",
+    )
+    p_run.add_argument(
+        "--zero-copy", action="store_true",
+        help="restrict the sweep to the zero-copy (page-remap) receive "
+        "mode (experiments with a zero_copy parameter; others reject it)",
     )
     p_run.add_argument(
         "--profile-out", metavar="PATH",

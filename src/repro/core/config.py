@@ -28,6 +28,12 @@ class OptimizationConfig:
     #: under a disorder storm and re-enables after a quiet period.  Off by
     #: default — the ungoverned hot path stays byte-identical.
     auto_degrade: bool = False
+    #: Zero-copy (page-remap) receive: the application drain maps payload
+    #: pages into the process instead of copying, paying per-page fixed
+    #: costs (see :mod:`repro.mem.zerocopy`).  The third optimization axis
+    #: beside aggregation and ACK offload; off by default — copy mode stays
+    #: byte-identical.
+    zero_copy: bool = False
 
     @classmethod
     def baseline(cls) -> "OptimizationConfig":
@@ -48,6 +54,16 @@ class OptimizationConfig:
     def resilient(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
         """All optimizations plus governor-driven graceful degradation."""
         return cls.optimized(aggregation_limit=aggregation_limit, auto_degrade=True)
+
+    @classmethod
+    def zcrx(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
+        """All optimizations plus zero-copy (page-remap) receive."""
+        return cls(
+            receive_aggregation=True,
+            ack_offload=True,
+            aggregation_limit=aggregation_limit,
+            zero_copy=True,
+        )
 
     @classmethod
     def aggregation_only(cls, aggregation_limit: int = 20) -> "OptimizationConfig":

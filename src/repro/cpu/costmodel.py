@@ -109,6 +109,18 @@ class CostModel:
     # ---------------- per-byte (category: per-byte) ----------------
     #: Per-fragment setup during copy_to_user of an aggregated skb (iovec walk).
     copy_setup_per_fragment: float = 120.0
+    #: Zero-copy receive (page remap, see :mod:`repro.mem.zerocopy`):
+    #: per-host-packet setup (reference the skb, enter the mapping path).
+    zc_setup_per_skb: float = 400.0
+    #: Per mapped page: get_page, PTE install, and the amortized share of
+    #: the range's TLB shoot-down.  This is the fixed cost that must beat
+    #: per-byte copying for zero-copy to win.
+    zc_map_per_page: float = 5400.0
+    #: Minor-fault-like touch when the mapped page's payload already left
+    #: the LLC (DDIO warmth lost before the app read it).
+    zc_cold_fault_per_page: float = 1200.0
+    #: Page size the remap path operates on.
+    zc_page_bytes: int = 4096
 
     # ---------------- misc (category: misc) ----------------
     #: Socket/timer/softirq bookkeeping charged per network packet.

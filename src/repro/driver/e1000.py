@@ -238,7 +238,10 @@ class E1000Driver:
         nic = self.nic
         if queue.lro is not None:
             for out in queue.lro.flush():
-                if not ring.post(out):
+                if ring.post(out):
+                    if queue.mem is not None:
+                        queue.mem.dma_place(out, queue.mem_node)
+                else:
                     nic.stats.rx_dropped_ring_full += 1
         if self._rc is not None:
             self._rc.note_ring_access(queue, self.cpu)

@@ -15,6 +15,7 @@ from repro.experiments import (
     extension_resilience,
     extension_rss_scaling,
     extension_tso,
+    extension_zero_copy,
     figure01_prefetching,
     figure02_systems,
     figure03_up_breakdown,
@@ -52,6 +53,7 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_resilience": extension_resilience.run,
     "extension_rss_scaling": extension_rss_scaling.run,
     "extension_tso": extension_tso.run,
+    "extension_zero_copy": extension_zero_copy.run,
 }
 
 
@@ -61,6 +63,8 @@ def run_experiment(
     jobs: Optional[int] = None,
     queues: Optional[List[int]] = None,
     impairments=None,
+    numa_nodes: Optional[int] = None,
+    zero_copy: Optional[bool] = None,
 ) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"figure7"``).
 
@@ -72,7 +76,9 @@ def run_experiment(
     ``impairments`` (an :class:`~repro.faults.plan.ImpairmentConfig`)
     applies wire impairments / a fault plan to experiments that accept
     them; asking an experiment that doesn't is an error, not a silent
-    clean-wire run.
+    clean-wire run.  ``numa_nodes`` / ``zero_copy`` configure the memory
+    hierarchy for experiments that model it (``extension_zero_copy``);
+    asking any other experiment is likewise a loud error.
     """
     try:
         fn = REGISTRY[experiment_id]
@@ -93,6 +99,20 @@ def run_experiment(
                 "(--drop/--reorder/--dup/--fault-plan)"
             )
         kwargs["impairments"] = impairments
+    if numa_nodes is not None:
+        if "numa_nodes" not in params:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not model the memory "
+                "hierarchy (--numa-nodes)"
+            )
+        kwargs["numa_nodes"] = numa_nodes
+    if zero_copy is not None:
+        if "zero_copy" not in params:
+            raise ValueError(
+                f"experiment {experiment_id!r} does not take a receive mode "
+                "(--zero-copy)"
+            )
+        kwargs["zero_copy"] = zero_copy
     return fn(quick=quick, **kwargs)
 
 

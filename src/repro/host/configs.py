@@ -21,11 +21,13 @@ each constant is charged) is simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 from repro.cpu.cache import CacheModel, PrefetchMode
 from repro.cpu.costmodel import CostModel
 from repro.cpu.locks import LockModel
 from repro.core.config import OptimizationConfig  # noqa: F401  (re-exported)
+from repro.mem.hierarchy import MemConfig
 
 
 @dataclass
@@ -67,6 +69,11 @@ class SystemConfig:
     link_delay_s: float = 20e-6
     #: TCP MSS implied by the MTU with timestamps (1500 - 40 - 12).
     mss: int = 1448
+    #: Explicit memory hierarchy (LLC/DDIO/NUMA — :mod:`repro.mem`).
+    #: ``None`` is the flat-equivalent setting: every charge goes through
+    #: the flat :class:`~repro.cpu.cache.CacheModel`, byte-identical to the
+    #: pre-hierarchy code, which is what all pinned figures run under.
+    mem: Optional[MemConfig] = None
 
     def with_prefetch(self, mode: PrefetchMode) -> "SystemConfig":
         """A copy of this config with a different prefetch configuration

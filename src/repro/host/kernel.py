@@ -22,6 +22,7 @@ from repro.core.ack_offload import build_template_ack_skb
 from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
 from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.mem.zerocopy import ZcrxStats, zcrx_item_cycles
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.obs.runtime import active_tracer
@@ -81,8 +82,10 @@ class KernelSocket:
         conn.app = self
         self.pending: List[Tuple[Optional[bytes], int]] = []
         self.pending_bytes = 0
-        #: (bytes, extra_fragments) per delivered skb — drives copy costs.
-        self.pending_items: List[Tuple[int, int]] = []
+        #: (bytes, extra_fragments, meminfo) per delivered skb — drives
+        #: copy/remap costs.  ``meminfo`` is the memory hierarchy's source
+        #: line classification, None when the hierarchy is off.
+        self.pending_items: List[Tuple[int, int, Optional[tuple]]] = []
         self.bytes_received = 0
         self.established = False
         self.remote_closed = False
@@ -156,6 +159,16 @@ class Kernel:
         self.packet_slab = None
 
         self.aggregator = None  # set by the machine when aggregation is on
+        #: Memory hierarchy + NUMA topology (None unless ``config.mem`` is
+        #: set; wired by the machine).  With both None every charge goes
+        #: through the flat CacheModel, byte-identical to the pre-mem code.
+        self.mem = None
+        self.topology = None
+        #: Zero-copy receive counters (populated only when opt.zero_copy).
+        self.zcrx = ZcrxStats()
+        #: Items delivered through the copy loop — the sanitizer asserts
+        #: this stays 0 under opt.zero_copy (no copy charged under zcrx).
+        self.copy_charged_items = 0
         #: Data segments the software checksum pass rejected (corrupted in
         #: flight, no hardware offload to catch them earlier).
         self.rx_csum_drops = 0
@@ -303,9 +316,21 @@ class Kernel:
 
         if sock is not None and sock.pending_bytes > 0:
             consume(costs.misc_per_host_packet, Category.MISC)
-            new_bytes = sock.pending_bytes - sum(b for b, _ in sock.pending_items)
+            new_bytes = sock.pending_bytes - sum(b for b, _, _ in sock.pending_items)
             if new_bytes > 0:
-                sock.pending_items.append((new_bytes, skb.nr_frags))
+                mem = self.mem
+                if mem is not None:
+                    # Classify the payload's source lines now: delivery and
+                    # the app drain run in the same softirq, so no DMA can
+                    # interleave — warmth loss is decided by the DMA-to-
+                    # softirq latency (ITR batching pressure), not here.
+                    consumer = self._mem_node_of(sock)
+                    meminfo = mem.consume_skb(skb, consumer)
+                    if skb.pool is not None and skb.pool.node != consumer:
+                        consume(mem.remote_skb_touch_cycles(), Category.BUFFER)
+                else:
+                    meminfo = None
+                sock.pending_items.append((new_bytes, skb.nr_frags, meminfo))
             if not sock.dirty:
                 sock.dirty = True
                 self._dirty_sockets.append(sock)
@@ -357,6 +382,12 @@ class Kernel:
         application CPU and program flow steering."""
         return KernelSocket(self, conn)
 
+    def _mem_node_of(self, sock: KernelSocket) -> int:
+        """NUMA node of the CPU that consumes ``sock``'s data.  The
+        single-CPU kernel lives on node 0; the multi-queue kernel maps the
+        socket's application CPU through the topology."""
+        return 0
+
     # ------------------------------------------------------------------
     # application drain (end of softirq)
     # ------------------------------------------------------------------
@@ -378,11 +409,28 @@ class Kernel:
                 t0 = max(self.cpu.busy_until, self.sim.now)
             syscalls = max(1, math.ceil(nbytes / RECV_CHUNK))
             consume(costs.syscall * syscalls, Category.MISC)
-            for item_bytes, extra_frags in sock.pending_items:
-                consume(
-                    costs.copy_cycles(item_bytes) + costs.copy_setup_per_fragment * extra_frags,
-                    Category.PER_BYTE,
-                )
+            if self.opt.zero_copy:
+                zc = self.zcrx
+                for item_bytes, extra_frags, meminfo in sock.pending_items:
+                    cycles, pages, cold = zcrx_item_cycles(costs, item_bytes, meminfo)
+                    consume(cycles, Category.PER_BYTE)
+                    zc.skbs += 1
+                    zc.pages_mapped += pages
+                    zc.cold_pages += cold
+            else:
+                mem = self.mem
+                for item_bytes, extra_frags, meminfo in sock.pending_items:
+                    if meminfo is None:
+                        cycles = costs.copy_cycles(item_bytes)
+                    else:
+                        cycles = mem.copy_cycles(
+                            item_bytes, meminfo, costs.cache.copy_cycles_per_byte
+                        )
+                    consume(
+                        cycles + costs.copy_setup_per_fragment * extra_frags,
+                        Category.PER_BYTE,
+                    )
+                    self.copy_charged_items += 1
             pending, sock.pending = sock.pending, []
             sock.pending_items = []
             sock.pending_bytes = 0

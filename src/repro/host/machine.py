@@ -25,6 +25,8 @@ from repro.driver.e1000 import E1000Driver
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.host.kernel import Kernel
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.topology import NumaTopology
 from repro.net.addresses import ip_from_str
 from repro.nic.lro import LroEngine
 from repro.nic.nic import Nic
@@ -62,6 +64,16 @@ class ReceiverMachine:
         self.kernel = Kernel(sim, self.cpu, config, opt, pool=self.pool, name=name)
         self.kernel.packet_slab = self.packet_slab
         self.kernel.set_ip(self.ip)
+        #: Memory hierarchy (None unless ``config.mem`` is set — the
+        #: flat-equivalent default).  A UP machine is single-socket: one
+        #: CPU/queue block on node 0 regardless of ``mem.nodes``.
+        self.mem: Optional[MemoryHierarchy] = None
+        self.topology: Optional[NumaTopology] = None
+        if config.mem is not None:
+            self.mem = MemoryHierarchy(config.mem)
+            self.topology = NumaTopology(nodes=config.mem.nodes, cpus=1, queues=1)
+            self.kernel.mem = self.mem
+            self.kernel.topology = self.topology
         #: Graceful-degradation governor (None unless opt.auto_degrade and
         #: some coalescing engine exists to govern).
         self.governor: Optional[CoalesceGovernor] = None
@@ -114,6 +126,10 @@ class ReceiverMachine:
             name=f"{self.name}-eth{index}",
         )
         nic.adaptive_itr = cfg.adaptive_itr
+        if self.mem is not None:
+            for queue in nic.queues:
+                queue.mem = self.mem
+                queue.mem_node = self.topology.node_of_queue(queue.index)
         driver = E1000Driver(
             cpu=self.cpu,
             nic=nic,

@@ -1,0 +1,32 @@
+"""Explicit memory-hierarchy backend: LLC/DRAM, DDIO, NUMA, zero-copy.
+
+The flat :class:`repro.cpu.cache.CacheModel` prices every copied line with
+one constant.  This package models the next chapter of the paper's story —
+*why* per-byte costs stopped dominating, and when they come back:
+
+* :mod:`repro.mem.hierarchy` — per-NUMA-node last-level caches with
+  way-granular occupancy, a limited set of DDIO I/O ways that NIC DMA
+  lands in, deterministic FIFO eviction under working-set pressure, and
+  NUMA-local vs remote DRAM line costs.
+* :mod:`repro.mem.topology` — node→CPU and node→RX-queue maps for the
+  multi-queue rig (MSI-X affinity style block mapping).
+* :mod:`repro.mem.zerocopy` — the page-remap receive path's cost model
+  (per-page fixed costs instead of per-byte copies).
+
+The hierarchy is opt-in: ``SystemConfig.mem`` defaults to ``None``, which
+keeps the flat cache model byte-for-byte (the flat-equivalent setting all
+existing figures are pinned to).
+"""
+
+from repro.mem.hierarchy import MemConfig, MemNode, MemoryHierarchy
+from repro.mem.topology import NumaTopology
+from repro.mem.zerocopy import ZcrxStats, zcrx_item_cycles
+
+__all__ = [
+    "MemConfig",
+    "MemNode",
+    "MemoryHierarchy",
+    "NumaTopology",
+    "ZcrxStats",
+    "zcrx_item_cycles",
+]

@@ -1,0 +1,73 @@
+"""Zero-copy (page-remap) receive: the cost model.
+
+The ``tcp_mmap``-style receive path (``zflg`` in the exemplar) skips the
+per-byte copy to user space: the kernel remaps the sk_buff's payload pages
+into the application's address space.  What it pays instead is *per-page
+fixed* work — get/put page references, PTE installation, and the TLB
+shoot-down amortized over the mapped range — plus a minor-fault-like touch
+for pages whose data already fell out of the LLC (DDIO warmth lost to
+I/O-way eviction before the app read the mapping).
+
+Modelling assumption (documented, load-bearing): the NIC header-splits and
+packs payload page-aligned, so an aggregated host packet of N bytes maps
+``ceil(N / page)`` pages.  Without hardware placement every 1448-byte
+fragment would burn its own page and zero-copy would lose everywhere —
+which is exactly why real zcrx implementations require header-split
+hardware.
+
+The charge happens in the application drain, same place the copy loop runs
+in copy mode, so copy vs zcrx is a like-for-like substitution of the
+per-item cost. Costs constants live on :class:`~repro.cpu.costmodel.CostModel`
+(``zc_*``) so system configs can recalibrate them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class ZcrxStats:
+    """Per-kernel zero-copy receive counters."""
+
+    #: Host packets delivered by page remap instead of copy.
+    skbs: int = 0
+    #: Pages mapped into the application.
+    pages_mapped: int = 0
+    #: Mapped pages whose payload had already left the LLC (late read).
+    cold_pages: int = 0
+
+
+def zcrx_item_cycles(
+    costs, nbytes: int, meminfo: Optional[Tuple[int, int, int, int]]
+) -> Tuple[float, int, int]:
+    """Cycles to deliver one ``nbytes`` pending item by page remap.
+
+    Returns ``(cycles, pages, cold_pages)``.  ``meminfo`` is the line
+    classification captured at skb delivery (None when the memory
+    hierarchy is off — then every page counts as warm and only the fixed
+    mapping costs apply).
+    """
+    pages = math.ceil(nbytes / costs.zc_page_bytes)
+    if pages <= 0:
+        return (0.0, 0, 0)
+    if meminfo is None:
+        cold_pages = 0
+    else:
+        warm_local, warm_remote, cold_local, cold_remote = meminfo
+        total = warm_local + warm_remote + cold_local + cold_remote
+        cold = cold_local + cold_remote
+        if total <= 0:
+            # Nothing classified (payload trimmed/reassembled): the data
+            # sat in DRAM-side queues — every page faults cold.
+            cold_pages = pages
+        else:
+            cold_pages = math.ceil(pages * cold / total)
+    cycles = (
+        costs.zc_setup_per_skb
+        + pages * costs.zc_map_per_page
+        + cold_pages * costs.zc_cold_fault_per_page
+    )
+    return (cycles, pages, cold_pages)

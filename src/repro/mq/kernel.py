@@ -36,6 +36,7 @@ from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.host.kernel import RECV_CHUNK, Kernel, KernelSocket
+from repro.mem.zerocopy import zcrx_item_cycles
 from repro.mq.costs import CrossCpuCostModel
 from repro.mq.steering import SteeringPolicy
 from repro.net.flow import FlowKey
@@ -204,6 +205,12 @@ class MqKernel(Kernel):
             self._rc.tag_socket(sock, index)
         return sock
 
+    def _mem_node_of(self, sock: KernelSocket) -> int:
+        topology = self.topology
+        if topology is None:
+            return 0
+        return topology.node_of_cpu(sock.app_cpu_index)
+
     def _demux(self, pkt: Packet):
         conn, sock = super()._demux(pkt)
         if sock is not None and sock.app_cpu_index != self._current_idx:
@@ -263,12 +270,28 @@ class MqKernel(Kernel):
                 consume = self.cpu.consume
                 syscalls = max(1, math.ceil(nbytes / RECV_CHUNK))
                 consume(costs.syscall * syscalls, Category.MISC)
-                for item_bytes, extra_frags in sock.pending_items:
-                    consume(
-                        costs.copy_cycles(item_bytes)
-                        + costs.copy_setup_per_fragment * extra_frags,
-                        Category.PER_BYTE,
-                    )
+                if self.opt.zero_copy:
+                    zc = self.zcrx
+                    for item_bytes, extra_frags, meminfo in sock.pending_items:
+                        cycles, pages, cold = zcrx_item_cycles(costs, item_bytes, meminfo)
+                        consume(cycles, Category.PER_BYTE)
+                        zc.skbs += 1
+                        zc.pages_mapped += pages
+                        zc.cold_pages += cold
+                else:
+                    mem = self.mem
+                    for item_bytes, extra_frags, meminfo in sock.pending_items:
+                        if meminfo is None:
+                            cycles = costs.copy_cycles(item_bytes)
+                        else:
+                            cycles = mem.copy_cycles(
+                                item_bytes, meminfo, costs.cache.copy_cycles_per_byte
+                            )
+                        consume(
+                            cycles + costs.copy_setup_per_fragment * extra_frags,
+                            Category.PER_BYTE,
+                        )
+                        self.copy_charged_items += 1
                 pending, sock.pending = sock.pending, []
                 sock.pending_items = []
                 sock.pending_bytes = 0

@@ -28,6 +28,8 @@ from repro.driver.e1000 import E1000Driver
 from repro.faults.degradation import CoalesceGovernor
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.mem.topology import NumaTopology
 from repro.mq.costs import CrossCpuCostModel, mq_lock_model
 from repro.mq.kernel import MqKernel, SoftirqPort
 from repro.mq.steering import SteeringPolicy, make_policy
@@ -93,6 +95,24 @@ class MqReceiverMachine:
         )
         self.kernel.packet_slab = self.packet_slab
         self.kernel.set_ip(self.ip)
+        #: Memory hierarchy + NUMA placement (None unless ``config.mem``).
+        #: CPUs and queues split block-wise across ``mem.nodes``; each node
+        #: gets its own sk_buff pool so queue *q*'s driver allocates
+        #: node-local descriptors (all pools share the one packet slab).
+        self.mem: Optional[MemoryHierarchy] = None
+        self.topology: Optional[NumaTopology] = None
+        self.pools: List[BufferPool] = [self.pool]
+        if config.mem is not None:
+            self.mem = MemoryHierarchy(config.mem)
+            self.topology = NumaTopology(
+                nodes=config.mem.nodes, cpus=queues, queues=queues
+            )
+            self.kernel.mem = self.mem
+            self.kernel.topology = self.topology
+            for node in range(1, config.mem.nodes):
+                pool = BufferPool(name=f"{name}-skb-n{node}", node=node)
+                pool.slab = self.packet_slab
+                self.pools.append(pool)
 
         self.nics: List[Nic] = []
         self.drivers: List[List[E1000Driver]] = []  # per nic: one per queue
@@ -134,8 +154,18 @@ class MqReceiverMachine:
             name=f"{self.name}-eth{index}",
         )
         nic.adaptive_itr = cfg.adaptive_itr
+        if self.mem is not None:
+            for queue in nic.queues:
+                queue.mem = self.mem
+                queue.mem_node = self.topology.node_of_queue(queue.index)
         nic_drivers: List[E1000Driver] = []
         for q in range(self.queues):
+            # Node-local descriptor pool for this queue's receive path.
+            q_pool = (
+                self.pools[self.topology.node_of_queue(q)]
+                if self.mem is not None
+                else self.pool
+            )
             aggregator = None
             if self.opt.receive_aggregation:
                 governor = None
@@ -147,7 +177,7 @@ class MqReceiverMachine:
                     cpu=self.cpus[q],
                     costs=cfg.costs,
                     opt=self.opt,
-                    pool=self.pool,
+                    pool=q_pool,
                     deliver=self.kernel.deliver_host_skb,
                     governor=governor,
                     name=f"{self.name}-aggr{index}.{q}",
@@ -158,7 +188,7 @@ class MqReceiverMachine:
                 cpu=self.cpus[q],
                 nic=nic,
                 kernel=port,
-                pool=self.pool,
+                pool=q_pool,
                 aggregation=self.opt.receive_aggregation,
                 tso=cfg.tso,
                 mss=cfg.mss,

@@ -39,6 +39,7 @@ class Packet:
         "rx_time",
         "created_time",
         "lro_segs",
+        "mem_token",
         "_wire_len",
         "_flow_key",
         "_slab_free",
@@ -73,6 +74,9 @@ class Packet:
         self.created_time: Optional[float] = None
         #: Number of wire packets this packet stands for (hardware LRO > 1).
         self.lro_segs = 1
+        #: DDIO placement token ``(node, id)`` set by the memory hierarchy
+        #: at DMA time; None when the hierarchy is off (the default).
+        self.mem_token = None
         #: Lazily cached geometry/flow identity (see ``wire_len``/``flow_key``).
         self._wire_len: Optional[int] = None
         self._flow_key = None
@@ -287,6 +291,7 @@ class Packet:
         clone.rx_time = self.rx_time
         clone.created_time = self.created_time
         clone.lro_segs = self.lro_segs
+        clone.mem_token = None
         clone._wire_len = None
         clone._flow_key = None
         clone._slab_free = False
@@ -410,6 +415,7 @@ class PacketTemplate:
         pkt.rx_time = None
         pkt.created_time = None
         pkt.lro_segs = 1
+        pkt.mem_token = None
         pkt._wire_len = ETH_HEADER_LEN + total
         pkt._flow_key = self._flow_key
         pkt._slab_free = False

@@ -37,6 +37,8 @@ class RxQueue:
         "_last_arrival",
         "_ewma_interarrival",
         "_ewma_frame_bytes",
+        "mem",
+        "mem_node",
     )
 
     def __init__(self, nic, index: int, ring_size: int, lro: Optional[LroEngine] = None):
@@ -53,6 +55,11 @@ class RxQueue:
         self._last_arrival = -1e9
         self._ewma_interarrival = 1.0
         self._ewma_frame_bytes = 1500.0
+        #: Memory hierarchy + this queue's home NUMA node; set by the
+        #: machine when ``SystemConfig.mem`` is configured (DMA completions
+        #: then DDIO-place frames into the node's I/O ways).
+        self.mem = None
+        self.mem_node = 0
 
     # ------------------------------------------------------------------
     # receive path (called by Nic.rx_frame after steering)
@@ -85,9 +92,12 @@ class RxQueue:
                 pkt.csum_verified = True
                 stats.rx_csum_offloaded += 1
         tr = nic._tr
+        mem = self.mem
         if self.lro is not None:
             for out in self.lro.accept(pkt):
                 if self.ring.post(out):
+                    if mem is not None:
+                        mem.dma_place(out, self.mem_node)
                     if tr is not None:
                         tr.event(Stage.RING_POST, now, args={"q": self.index, "segs": out.lro_segs})
                 else:
@@ -96,6 +106,8 @@ class RxQueue:
                         tr.event(Stage.RING_DROP, now, args={"q": self.index, "segs": out.lro_segs})
             self.maybe_raise_interrupt()
         elif self.ring.post(pkt):
+            if mem is not None:
+                mem.dma_place(pkt, self.mem_node)
             if tr is not None:
                 tr.event(Stage.RING_POST, now, args={"q": self.index})
             self.maybe_raise_interrupt()
@@ -133,8 +145,11 @@ class RxQueue:
             # Hardware closes its merge sessions when it asserts the interrupt.
             tr = nic._tr
             now = nic.sim.now
+            mem = self.mem
             for out in self.lro.flush():
                 if self.ring.post(out):
+                    if mem is not None:
+                        mem.dma_place(out, self.mem_node)
                     if tr is not None:
                         tr.event(Stage.RING_POST, now, args={"q": self.index, "segs": out.lro_segs})
                 else:

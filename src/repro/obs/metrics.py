@@ -315,6 +315,26 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
         registry.gauge(f"{base}.host_packets", lambda c=cpu: c.profiler.host_packets)
         registry.gauge(f"{base}.acks_sent", lambda c=cpu: c.profiler.acks_sent)
 
+    mem = getattr(machine, "mem", None)
+    if mem is not None:
+        registry.gauge("mem.llc_hits", lambda m=mem: m.llc_hits)
+        registry.gauge("mem.ddio_placements", lambda m=mem: m.ddio_placements)
+        registry.gauge("mem.ddio_evictions", lambda m=mem: m.io_evictions)
+        registry.gauge(
+            "mem.remote_line_fetches", lambda m=mem: m.remote_line_fetches
+        )
+        registry.gauge("mem.dram_line_fetches", lambda m=mem: m.dram_line_fetches)
+        for node in mem.nodes:
+            base = f"mem.node{node.index}"
+            registry.gauge(
+                f"{base}.io_occupancy_lines", lambda n=node: n.io_occupancy
+            )
+            registry.gauge(
+                f"{base}.ddio_placements", lambda n=node: n.ddio_placements
+            )
+            registry.gauge(f"{base}.ddio_evictions", lambda n=node: n.io_evictions)
+            registry.gauge(f"{base}.llc_hits", lambda n=node: n.llc_hits)
+
     kernel = getattr(machine, "kernel", None)
     if kernel is not None:
         registry.gauge("kernel.connections", lambda k=kernel: len(k.connections))
@@ -329,6 +349,21 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
                 "kernel.ack_template_alloc_fails",
                 lambda k=kernel: k.ack_template_alloc_fails,
             )
+        if hasattr(kernel, "zcrx"):
+            zcrx = kernel.zcrx
+            registry.gauge("kernel.zcrx.skbs", lambda z=zcrx: z.skbs)
+            registry.gauge("kernel.zcrx.pages_mapped", lambda z=zcrx: z.pages_mapped)
+            registry.gauge("kernel.zcrx.cold_pages", lambda z=zcrx: z.cold_pages)
+        if hasattr(kernel, "copy_charged_items"):
+            registry.gauge(
+                "kernel.copy_charged_items", lambda k=kernel: k.copy_charged_items
+            )
+
+    slab = getattr(machine, "packet_slab", None)
+    if slab is not None:
+        registry.gauge("slab.recycled", lambda s=slab: s.recycled)
+        registry.gauge("slab.misses", lambda s=slab: s.misses)
+        registry.gauge("slab.free_len", lambda s=slab: len(s.free))
 
 
 def bind_connections(registry: MetricsRegistry, connections: Iterable) -> None:

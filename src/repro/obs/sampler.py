@@ -204,3 +204,11 @@ def bind_standard_probes(sampler: TimeSeriesSampler, machine, senders=()) -> Non
         sampler.add_probe(
             f"aggr.{aggr.name}.queue_depth", lambda a=aggr: len(a.queue)
         )
+
+    mem = getattr(machine, "mem", None)
+    if mem is not None:
+        for node in mem.nodes:
+            sampler.add_probe(
+                f"mem.node{node.index}.io_occupancy_lines",
+                lambda n=node: n.io_occupancy,
+            )

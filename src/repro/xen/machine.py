@@ -52,6 +52,12 @@ class XenReceiverMachine:
     ):
         if not config.is_xen:
             raise ValueError("XenReceiverMachine needs an is_xen SystemConfig")
+        if config.mem is not None:
+            raise ValueError(
+                "the memory hierarchy (SystemConfig.mem) is not modelled for "
+                "the Xen pipeline — its grant-copy data path never touches "
+                "DDIO ways; use mem=None"
+            )
         self.sim = sim
         self.config = config
         self.opt = opt

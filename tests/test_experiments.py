@@ -32,6 +32,7 @@ def test_registry_complete():
         "extension_hw_lro", "extension_jumbo", "extension_itr",
         "extension_bidirectional", "extension_load_sensitivity", "extension_tso",
         "extension_rss_scaling", "extension_resilience",
+        "extension_zero_copy",
     }
     assert set(REGISTRY) == expected
 
