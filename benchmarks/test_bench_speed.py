@@ -14,6 +14,7 @@ import os
 from pathlib import Path
 
 from repro.analysis.speed import (
+    append_history,
     format_speed_report,
     measure_figure07_speed,
     measure_many_conn_speed,
@@ -51,6 +52,10 @@ def test_simulator_speed(benchmark):
     benchmark.extra_info["network_packets"] = report["network_packets"]
 
     _merge_bench(report)
+    # One history entry per recording (git SHA + per-point detail) — the
+    # perf-regression observatory `python -m repro.analysis.speed --compare`
+    # diffs consecutive entries; CI uploads the file as an artifact.
+    append_history(report)
 
     # The workload mix is deterministic: a changed event count means the
     # engine's semantics changed, not just its speed.
@@ -73,10 +78,15 @@ def test_obs_overhead(benchmark):
     off, on = report["off"], report["on"]
     benchmark.extra_info["overhead_ratio"] = round(report["overhead_ratio"], 3)
     benchmark.extra_info["trace_events"] = report["trace_events"]
+    benchmark.extra_info["ledger_overhead_ratio"] = round(
+        report["ledger_overhead_ratio"], 3
+    )
     print()
     print(
         f"obs overhead: off {off['wall_s']:.2f}s / on {on['wall_s']:.2f}s "
-        f"(x{report['overhead_ratio']:.2f}), {report['trace_events']:,} spans"
+        f"(x{report['overhead_ratio']:.2f}), {report['trace_events']:,} spans; "
+        f"ledger x{report['ledger_overhead_ratio']:.2f}, "
+        f"{report['ledger_cells']:,} cells"
     )
 
     # Deterministic: instrumentation observes the run, it never steers it.
@@ -84,6 +94,10 @@ def test_obs_overhead(benchmark):
     # bit-identical with tracing+metrics+sampling on.
     assert report["behavior_neutral"], (off, on)
     assert report["trace_events"] > 0
+    # The ledger schedules nothing, so even events_fired must survive —
+    # attribution is a strictly passive observer.
+    assert report["ledger_behavior_neutral"], (off, report["ledger_on"])
+    assert report["ledger_cells"] > 0
 
     if os.environ.get("REPRO_BENCH_STRICT") == "1":
         bench_path = _REPO_ROOT / "BENCH_speed.json"

@@ -344,6 +344,28 @@ class SimSanitizer:
             if mem is not None:
                 self._audit_mem(mem)
             self._audit_zcrx(machine)
+            self._audit_ledger(machine)
+
+    def _audit_ledger(self, machine) -> None:
+        """The cycle ledger's reconciliation contract holds at every audit
+        point, not just at export: per-CPU shadows bit-equal
+        ``busy_cycles``, per-(cpu, category) shadows bit-equal the
+        profiler, and exact cell units sum to the recorded totals (see
+        :meth:`repro.obs.ledger.CycleLedger.verify`)."""
+        cpus = getattr(machine, "cpus", None)
+        if cpus is None:
+            cpu = getattr(machine, "cpu", None)
+            cpus = [cpu] if cpu is not None else []
+        for cpu in cpus:
+            led = getattr(cpu, "_led", None)
+            if led is None:
+                continue
+            problems = led.verify([cpu])
+            if problems:
+                raise InvariantViolation(
+                    f"cycle ledger out of reconciliation on {cpu.name}: "
+                    + "; ".join(problems)
+                )
 
     @staticmethod
     def _machine_drivers(machine) -> List[object]:

@@ -12,14 +12,28 @@ The standard probe is the Figure 7 workload mix (UP / SMP / Xen, baseline
 and optimized) at quick fidelity — it exercises every hot subsystem: the
 event heap, both driver receive paths, aggregation, ACK offload, and the
 Xen bridge.
+
+Run as a module for the perf-regression observatory::
+
+    python -m repro.analysis.speed            # measure + print the report
+    python -m repro.analysis.speed --record   # append to BENCH_history.json
+    python -m repro.analysis.speed --compare  # per-point deltas vs the last
+                                              # recorded history entry
+
+``BENCH_history.json`` accumulates one entry per recording (git SHA +
+per-point events/sec), so a perf regression shows up as a per-point delta
+against the previous PR's entry, not just a pass/fail gate.
 """
 
 from __future__ import annotations
 
 # simlint: file-allow(wall-clock) -- measuring the simulator's wall speed is
 # this module's entire purpose; nothing here feeds back into simulation state.
+import json
+import subprocess
 import time
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional
 
 from repro.core.config import OptimizationConfig
 from repro.experiments.base import window
@@ -118,12 +132,16 @@ def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
 
     Runs the UP optimized streaming point three ways: obs never imported
     into the hot path beyond the disabled-by-default guards (``off``),
-    then with full tracing + metrics + sampling enabled (``on``).  Reports
-    wall seconds for each plus a behaviour-neutrality verdict: every
+    with full tracing + metrics + sampling enabled (``on``), and with only
+    the cycle ledger enabled (``ledger_on``).  Reports wall seconds for
+    each plus behaviour-neutrality verdicts: with tracing on, every
     measured field except ``events_fired``/``series`` (the sampler adds
-    scheduler events) must be bit-identical.  The CI speed harness asserts
-    the ``off`` path stays within the BENCH_speed envelope; ``on`` is
-    informational — tracing is allowed to cost wall time, never behaviour.
+    scheduler events) must be bit-identical; with the ledger on — which
+    schedules nothing — *every* field including ``events_fired`` must be.
+    The CI speed harness asserts the ``off`` path (the ledger-off default)
+    stays within the BENCH_speed envelope; ``on``/``ledger_on`` are
+    informational — attribution is allowed to cost wall time, never
+    behaviour.
     """
     from repro import obs
 
@@ -141,20 +159,43 @@ def measure_obs_overhead(quick: bool = True) -> Dict[str, object]:
     finally:
         obs.reset()
 
+    obs.configure(ledger=True)
+    try:
+        ledger_on = measure_stream_speed(
+            config, opt, duration=duration, warmup=warmup
+        )
+        ledger_obs = obs.drain_completed()
+    finally:
+        obs.reset()
+
     neutral_keys = [
         k for k in off if k not in ("wall_s", "events_fired", "events_per_sec")
     ]
+    ledger_neutral_keys = [
+        k for k in off if k not in ("wall_s", "events_per_sec")
+    ]
     spans = sum(
         len(o.tracer) for o in observations if o.tracer is not None
+    )
+    ledger_cells = sum(
+        len(o.ledger.cells) for o in ledger_obs if o.ledger is not None
     )
     return {
         "probe": "obs-overhead",
         "quick": quick,
         "off": off,
         "on": on,
+        "ledger_on": ledger_on,
         "overhead_ratio": on["wall_s"] / off["wall_s"] if off["wall_s"] > 0 else 0.0,
+        "ledger_overhead_ratio": (
+            ledger_on["wall_s"] / off["wall_s"] if off["wall_s"] > 0 else 0.0
+        ),
         "trace_events": spans,
+        "ledger_cells": ledger_cells,
         "behavior_neutral": all(off[k] == on[k] for k in neutral_keys),
+        "ledger_behavior_neutral": all(
+            off[k] == ledger_on[k] for k in ledger_neutral_keys
+        ),
     }
 
 
@@ -420,3 +461,139 @@ def format_speed_report(report: Dict[str, object]) -> str:
             f"  {p['events_fired']:>9,} events"
         )
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# perf-regression observatory: BENCH_history.json
+# ----------------------------------------------------------------------
+_REPO_ROOT = Path(__file__).resolve().parents[3]
+DEFAULT_HISTORY = _REPO_ROOT / "BENCH_history.json"
+
+
+def _git_sha() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, cwd=_REPO_ROOT, timeout=10,
+        )
+        if proc.returncode == 0:
+            return proc.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def append_history(report: Dict[str, object], path=None) -> dict:
+    """Append one figure7-mix speed report to the perf history.
+
+    Each entry carries the git SHA it was measured at plus the per-point
+    wall/throughput detail, so the trajectory is a list of (commit,
+    points) the ``--compare`` view diffs pairwise.
+    """
+    path = Path(path) if path is not None else DEFAULT_HISTORY
+    history = json.loads(path.read_text()) if path.exists() else []
+    entry = {
+        "sha": _git_sha(),
+        "probe": report["probe"],
+        "quick": report["quick"],
+        "wall_s": report["wall_s"],
+        "events_fired": report["events_fired"],
+        "events_per_sec": report["events_per_sec"],
+        "packets_per_sec": report["packets_per_sec"],
+        "points": report["points"],
+    }
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=1, sort_keys=True) + "\n")
+    return entry
+
+
+def compare_points(
+    baseline_points: List[dict], current_points: List[dict]
+) -> List[dict]:
+    """Per-point deltas, keyed by (system, optimized).
+
+    ``events_fired`` is deterministic: a changed count is flagged as a
+    *semantic* change (the engine fired different events), which is a
+    different failure class than a wall-clock slowdown.
+    """
+    base = {(p["system"], p["optimized"]): p for p in baseline_points}
+    rows = []
+    for p in current_points:
+        key = (p["system"], p["optimized"])
+        b = base.get(key)
+        row = {
+            "system": p["system"],
+            "optimized": p["optimized"],
+            "events_per_sec": p["events_per_sec"],
+            "baseline_events_per_sec": b["events_per_sec"] if b else None,
+            "delta_pct": (
+                (p["events_per_sec"] / b["events_per_sec"] - 1.0) * 100.0
+                if b and b["events_per_sec"] > 0 else None
+            ),
+            "events_fired_changed": (
+                b is not None and p["events_fired"] != b["events_fired"]
+            ),
+        }
+        rows.append(row)
+    return rows
+
+
+def format_compare(rows: List[dict], baseline_sha: str) -> str:
+    lines = [f"per-point speed vs last history entry ({baseline_sha[:12]}):"]
+    for row in rows:
+        mode = "optimized" if row["optimized"] else "baseline"
+        label = f"{row['system']} {mode}"
+        if row["delta_pct"] is None:
+            lines.append(f"  {label:<28} {row['events_per_sec']:>10,.0f} ev/s  (new point)")
+            continue
+        note = "  [events_fired CHANGED]" if row["events_fired_changed"] else ""
+        lines.append(
+            f"  {label:<28} {row['events_per_sec']:>10,.0f} ev/s  "
+            f"{row['delta_pct']:+6.1f}% vs {row['baseline_events_per_sec']:,.0f}{note}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="python -m repro.analysis.speed")
+    parser.add_argument(
+        "--full", action="store_true", help="full measurement windows (default quick)"
+    )
+    parser.add_argument(
+        "--record", action="store_true",
+        help="append this measurement to the history file",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="print per-point deltas against the last history entry",
+    )
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help=f"history file (default {DEFAULT_HISTORY.name} at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    report = measure_figure07_speed(quick=not args.full)
+    print(format_speed_report(report))
+
+    path = Path(args.history) if args.history else DEFAULT_HISTORY
+    if args.compare:
+        history = json.loads(path.read_text()) if path.exists() else []
+        if not history:
+            print(f"\nno history at {path}; run with --record first")
+        else:
+            last = history[-1]
+            rows = compare_points(last["points"], report["points"])
+            print()
+            print(format_compare(rows, last.get("sha", "unknown")))
+    if args.record:
+        entry = append_history(report, path)
+        print(f"\nrecorded {entry['sha'][:12]} in {path} "
+              f"({report['events_per_sec']:,.0f} events/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,13 @@ Observability flags (on ``run``/``all``; see :mod:`repro.obs`):
 ui.perfetto.dev); ``--metrics-out PATH`` writes every run's metrics
 registry; ``--sample-interval SEC`` samples throughput/cwnd/queue-depth
 series in sim time and prints a text dashboard; ``--profile-out PATH``
-writes the per-category cycle breakdown.  All are collected in-process:
+writes the per-category cycle breakdown; ``--ledger-out PATH`` writes the
+exact cycle ledger — every cycle attributed along (cpu, category,
+lifecycle stage, flow class, sim-time phase), reconciled bit-exactly
+against the profiler — and ``--flame-out PATH`` the same attribution as
+collapsed-stack flamegraph text.  Ledger exports feed ``python -m
+repro.obs diff A.json B.json`` (exact differential profiling).  All are
+collected in-process:
 sweep points dispatched to ``--jobs`` workers are not traced.  Measured
 rows are bit-identical with or without these flags.
 """
@@ -60,6 +66,8 @@ def _obs_requested(args) -> bool:
         getattr(args, "trace", None)
         or getattr(args, "metrics_out", None)
         or getattr(args, "sample_interval", None)
+        or getattr(args, "ledger_out", None)
+        or getattr(args, "flame_out", None)
     )
 
 
@@ -73,6 +81,7 @@ def _obs_setup(args) -> None:
         trace=bool(args.trace),
         metrics=bool(args.metrics_out),
         sample_interval=args.sample_interval,
+        ledger=bool(getattr(args, "ledger_out", None) or getattr(args, "flame_out", None)),
     )
 
 
@@ -94,12 +103,29 @@ def _obs_export(args) -> None:
         with open(args.metrics_out, "w") as fh:
             json.dump({"runs": [o.to_json() for o in done]}, fh, indent=1)
         print(f"wrote {args.metrics_out} ({len(done)} runs)")
+    ledger_out = getattr(args, "ledger_out", None)
+    if ledger_out:
+        doc = {"runs": [o.to_json() for o in done if o.ledger is not None]}
+        with open(ledger_out, "w") as fh:
+            json.dump(doc, fh, indent=1)
+        print(f"wrote {ledger_out} ({len(doc['runs'])} ledgers; "
+              "diff with `python -m repro.obs diff`)")
+    flame_out = getattr(args, "flame_out", None)
+    if flame_out:
+        ledgers = [o.ledger.to_json() for o in done if o.ledger is not None]
+        with open(flame_out, "w") as fh:
+            fh.write(obs.collapsed_text(ledgers))
+        print(f"wrote {flame_out} ({len(ledgers)} runs, collapsed-stack "
+              "format for flamegraph.pl/speedscope)")
     if args.sample_interval:
         for o in done:
             if o.sampler is not None and o.sampler.samples_taken:
                 print()
                 print(f"== {o.label} ==")
-                print(o.sampler.render_dashboard())
+                latency = (
+                    o.tracer.latency_quantiles() if o.tracer is not None else None
+                )
+                print(o.sampler.render_dashboard(latency=latency))
     obs.reset()
 
 
@@ -145,6 +171,7 @@ def _cmd_run(args) -> int:
             impairments=_impairments_from_args(args),
             numa_nodes=args.numa_nodes,
             zero_copy=True if args.zero_copy else None,
+            ledger=bool(args.ledger_out or args.flame_out),
         )
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
@@ -215,7 +242,20 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument(
             "--sample-interval", type=float, default=None, metavar="SEC",
             help="sample throughput/cwnd/queue-depth series every SEC "
-            "simulated seconds and print a text dashboard",
+            "simulated seconds and print a text dashboard (with per-stage "
+            "sojourn p50/p90/p99 when --trace is also on)",
+        )
+        sub_parser.add_argument(
+            "--ledger-out", metavar="PATH",
+            help="attribute every CPU cycle along (cpu, category, stage, "
+            "flow, phase) and write the exact ledgers as JSON; only "
+            "experiments whose runs are observable accept this "
+            "(loud error otherwise)",
+        )
+        sub_parser.add_argument(
+            "--flame-out", metavar="PATH",
+            help="write the cycle ledger as collapsed-stack flamegraph "
+            "text (flamegraph.pl / speedscope)",
         )
 
     p_run = sub.add_parser("run", help="run one experiment")

@@ -39,7 +39,8 @@ from repro.cpu.costmodel import CostModel
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.net.tcp_header import TcpFlags
-from repro.obs.runtime import active_tracer
+from repro.obs.ledger import UNATTRIBUTED
+from repro.obs.runtime import active_ledger, active_tracer
 from repro.obs.trace import Stage, cpu_tid
 
 #: Raw ACK|PSH bits — the only flags an aggregatable segment may carry (§3.1).
@@ -165,6 +166,8 @@ class AggregationEngine:
         self.name = name
         self.stats = AggregationStats()
         self._tr = active_tracer()
+        #: Cycle ledger captured at construction, same idiom as _tr.
+        self._led = active_ledger()
         #: Per-flow expected next sequence number, maintained only by the
         #: governed path as its disorder detector.
         self._gov_next_seq: Dict[FlowKey, int] = {}
@@ -202,9 +205,15 @@ class AggregationEngine:
         mac_cost = costs.mac_rx_processing
         match_cost = costs.aggr_match_per_packet
         aggr_cat = Category.AGGR
+        led = self._led
+        if led is not None:
+            led.push_stage("aggr")
+            prev_flow = led.set_flow(UNATTRIBUTED)
         while queue:
             pkt = popleft()
             stats.packets_in += 1
+            if led is not None:
+                led.set_flow(led.flow_for_port(pkt.tcp.dst_port))
             # Early demultiplex: this is where the compulsory cache miss on
             # the cold packet header is now paid (it left the driver).
             consume(mac_cost, aggr_cat)
@@ -216,8 +225,12 @@ class AggregationEngine:
                 continue
             stats.eligible += 1
             aggregate(pkt)
+        if led is not None:
+            led.set_flow(prev_flow)
         # Queue empty: the stack is about to go idle — flush everything.
         self._flush_all(work_conserving=True)
+        if led is not None:
+            led.pop_stage()
 
     def _run_governed(self) -> None:
         """The governed consume loop: identical costs and behaviour to
@@ -237,9 +250,15 @@ class AggregationEngine:
         match_cost = costs.aggr_match_per_packet
         aggr_cat = Category.AGGR
         now = self.cpu.sim.now
+        led = self._led
+        if led is not None:
+            led.push_stage("aggr")
+            prev_flow = led.set_flow(UNATTRIBUTED)
         while queue:
             pkt = popleft()
             stats.packets_in += 1
+            if led is not None:
+                led.set_flow(led.flow_for_port(pkt.tcp.dst_port))
             consume(mac_cost, aggr_cat)
             # Disorder detector: out-of-sequence arrival on a known flow,
             # or a frame that failed checksum verification.
@@ -273,7 +292,11 @@ class AggregationEngine:
                 consume(match_cost, aggr_cat)
                 stats.eligible += 1
                 self._aggregate(pkt)
+        if led is not None:
+            led.set_flow(prev_flow)
         self._flush_all(work_conserving=True)
+        if led is not None:
+            led.pop_stage()
 
     def _deliver_single(self, pkt: Packet) -> None:
         """Degraded-mode delivery: no match, no table — one cheap single."""

@@ -20,6 +20,7 @@ from typing import Any, Callable, Deque, Optional, Tuple
 from repro.cpu.costmodel import CostModel
 from repro.cpu.locks import LockModel
 from repro.cpu.profiler import _CATEGORY_INDEX, _intern_category, Profiler
+from repro.obs.runtime import active_ledger
 from repro.sim.engine import Simulator
 
 
@@ -54,6 +55,9 @@ class Cpu:
         self.locks = locks if locks is not None else LockModel()
         self.name = name
         self.profiler = Profiler()
+        # Captured at construction (rigs are built inside ``observe()``),
+        # so the ledger-off hot path is one load and a None check.
+        self._led = active_ledger()
 
         self.busy_until: float = 0.0
         self.busy_cycles: float = 0.0
@@ -117,6 +121,9 @@ class Cpu:
                 touched.append(idx)
         self.busy_cycles += cycles
         self.busy_until += cycles / self.freq_hz
+        led = self._led
+        if led is not None:
+            led.charge(self, cycles, category)
 
     # ------------------------------------------------------------------
     # completion-time helpers

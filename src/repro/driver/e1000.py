@@ -28,7 +28,7 @@ from repro.cpu.categories import Category
 from repro.cpu.cpu import Cpu
 from repro.net.packet import Packet
 from repro.nic.nic import Nic
-from repro.obs.runtime import active_tracer
+from repro.obs.runtime import active_ledger, active_tracer
 from repro.obs.trace import Stage, cpu_tid
 
 
@@ -82,6 +82,8 @@ class E1000Driver:
         self.name = name
         self.stats = DriverStats()
         self._tr = active_tracer()
+        #: Cycle ledger captured at construction, same idiom as _tr.
+        self._led = active_ledger()
         #: Race checker seam (None unless --racecheck), same idiom as _tr.
         self._rc = None
         #: The CPU index this queue's MSI-X vector targets: its ring is
@@ -110,6 +112,9 @@ class E1000Driver:
         tr = self._tr
         if tr is not None:
             isr_start = max(self.cpu.busy_until, self.cpu.sim.now)
+        led = self._led
+        if led is not None:
+            led.push_stage("driver.isr")
         consume(costs.driver_irq, Category.DRIVER)
         rc = self._rc
         if rc is not None:
@@ -118,6 +123,8 @@ class E1000Driver:
         pkts = self.queue.ring.drain()
         self.queue.last_drain_count = len(pkts)
         if not pkts:
+            if led is not None:
+                led.pop_stage()
             self.queue.poll()
             return
         self.stats.rx_packets += len(pkts)
@@ -164,6 +171,8 @@ class E1000Driver:
                 consume(costs.skb_alloc, Category.BUFFER)
                 skbs.append(skb)
             self.kernel.softirq_baseline(skbs)
+        if led is not None:
+            led.pop_stage()
         if tr is not None:
             # The span covers the whole ISR task, softirq included; the
             # softirq emits its own nested span on the same thread.
@@ -232,6 +241,9 @@ class E1000Driver:
         self._reset_pending = False
         self.stats.resets += 1
         consume = self.cpu.consume
+        led = self._led
+        if led is not None:
+            led.push_stage("driver.reset")
         consume(self.cpu.costs.driver_reset, Category.DRIVER)
         queue = self.queue
         ring = queue.ring
@@ -253,6 +265,8 @@ class E1000Driver:
             self.kernel.softirq_aggregated()
         nic.hung = False
         queue._irq_pending = False
+        if led is not None:
+            led.pop_stage()
         tr = self._tr
         if tr is not None:
             tr.event(
@@ -271,6 +285,9 @@ class E1000Driver:
         """Transmit one packet; it reaches the wire when the CPU work done
         so far completes.  Large sends (payload > MSS) are TSO-split into
         wire-sized segments here."""
+        led = self._led
+        if led is not None:
+            led.push_stage("driver.tx")
         self.cpu.consume(self.cpu.costs.driver_tx_per_packet, Category.DRIVER)
         if pkt.payload_len > self.mss:
             if not self.tso:
@@ -279,11 +296,15 @@ class E1000Driver:
                 self.cpu.consume(self.cpu.costs.tso_split_per_segment, Category.DRIVER)
                 self.stats.tx_packets += 1
                 self.cpu.defer(self.nic.transmit, seg)
+            if led is not None:
+                led.pop_stage()
             return
         self.stats.tx_packets += 1
         if pure_ack:
             self.cpu.profiler.count_ack_sent()
         self.cpu.defer(self.nic.transmit, pkt)
+        if led is not None:
+            led.pop_stage()
 
     def _tso_split(self, pkt: Packet):
         """Split one large send into MSS-sized wire segments."""
@@ -299,6 +320,9 @@ class E1000Driver:
         """Expand a template ACK (§4.2) and transmit the real ACK packets."""
         costs = self.cpu.costs
         consume = self.cpu.consume
+        led = self._led
+        if led is not None:
+            led.push_stage("driver.tx")
         consume(costs.driver_tx_per_packet, Category.DRIVER)
         self.stats.tx_templates += 1
         packets = expand_template(skb)
@@ -318,3 +342,5 @@ class E1000Driver:
             self.cpu.defer(self.nic.transmit, pkt)
         skb.free()
         consume(costs.skb_free, Category.BUFFER)
+        if led is not None:
+            led.pop_stage()

@@ -56,6 +56,30 @@ REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {
     "extension_zero_copy": extension_zero_copy.run,
 }
 
+#: Experiments whose measurements all run through the ``observe()``-capable
+#: streaming/multi-queue workloads in-process, so ``--ledger-out`` captures
+#: a cycle ledger for every run.  Everything else (latency tables, rigs
+#: built outside an observation) rejects the flag loudly instead of
+#: writing a silently incomplete ledger.
+LEDGER_EXPERIMENTS = frozenset({
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "ablation_limit1",
+    "extension_hw_lro",
+    "extension_itr",
+    "extension_jumbo",
+    "extension_rss_scaling",
+})
+
 
 def run_experiment(
     experiment_id: str,
@@ -65,6 +89,7 @@ def run_experiment(
     impairments=None,
     numa_nodes: Optional[int] = None,
     zero_copy: Optional[bool] = None,
+    ledger: bool = False,
 ) -> ExperimentResult:
     """Run one registered experiment by id (e.g. ``"figure7"``).
 
@@ -78,7 +103,11 @@ def run_experiment(
     them; asking an experiment that doesn't is an error, not a silent
     clean-wire run.  ``numa_nodes`` / ``zero_copy`` configure the memory
     hierarchy for experiments that model it (``extension_zero_copy``);
-    asking any other experiment is likewise a loud error.
+    asking any other experiment is likewise a loud error.  ``ledger``
+    asserts the experiment is in :data:`LEDGER_EXPERIMENTS` (the CLI sets
+    it when ``--ledger-out`` is given) — experiments whose rigs run
+    outside an observation reject it rather than exporting a partial
+    cycle ledger.
     """
     try:
         fn = REGISTRY[experiment_id]
@@ -86,6 +115,12 @@ def run_experiment(
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {sorted(REGISTRY)}"
         ) from None
+    if ledger and experiment_id not in LEDGER_EXPERIMENTS:
+        raise ValueError(
+            f"experiment {experiment_id!r} does not run through the "
+            "observable streaming workloads, so --ledger-out would write an "
+            f"incomplete ledger; supported: {sorted(LEDGER_EXPERIMENTS)}"
+        )
     params = inspect.signature(fn).parameters
     kwargs = {}
     if jobs is not None and "jobs" in params:

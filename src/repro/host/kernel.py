@@ -25,7 +25,8 @@ from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.mem.zerocopy import ZcrxStats, zcrx_item_cycles
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
-from repro.obs.runtime import active_tracer
+from repro.obs.ledger import UNATTRIBUTED
+from repro.obs.runtime import active_ledger, active_tracer
 from repro.obs.trace import Stage, cpu_tid
 from repro.sim.engine import Simulator
 from repro.tcp.connection import AckEvent, TcpConfig, TcpConnection
@@ -177,6 +178,8 @@ class Kernel:
         self.ack_template_alloc_fails = 0
         #: Lifecycle tracer captured at construction (None = tracing off).
         self._tr = active_tracer()
+        #: Cycle ledger captured at construction (None = ledger off).
+        self._led = active_ledger()
         #: Extra keyword overrides applied to every accepted connection's
         #: TcpConfig (e.g. a larger rcv_buf for long-fat-pipe experiments).
         self.tcp_overrides: Dict[str, object] = {}
@@ -215,10 +218,15 @@ class Kernel:
         tr = self._tr
         if tr is not None:
             t0 = max(self.cpu.busy_until, self.sim.now)
+        led = self._led
+        if led is not None:
+            led.push_stage("softirq")
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         for skb in skbs:
             self.deliver_host_skb(skb)
         self.app_drain()
+        if led is not None:
+            led.pop_stage()
         if tr is not None:
             tr.event(
                 Stage.SOFTIRQ,
@@ -234,9 +242,14 @@ class Kernel:
         if tr is not None:
             t0 = max(self.cpu.busy_until, self.sim.now)
             n_in = len(self.aggregator.queue)
+        led = self._led
+        if led is not None:
+            led.push_stage("softirq")
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         self.aggregator.run()
         self.app_drain()
+        if led is not None:
+            led.pop_stage()
         if tr is not None:
             tr.event(
                 Stage.AGGR_RUN,
@@ -257,6 +270,10 @@ class Kernel:
         tr = self._tr
         if tr is not None:
             t0 = max(self.cpu.busy_until, self.sim.now)
+        led = self._led
+        if led is not None:
+            prev_flow = led.set_flow(led.flow_for_port(pkt.tcp.dst_port))
+            led.push_stage("tcp_rx")
 
         if not skb.csum_verified and pkt.payload_len > 0:
             # No hardware checksum: the stack verifies in software (per-byte).
@@ -267,6 +284,9 @@ class Kernel:
                 self.rx_csum_drops += 1
                 skb.free()
                 consume(costs.skb_free, Category.BUFFER)
+                if led is not None:
+                    led.pop_stage()
+                    led.set_flow(prev_flow)
                 if tr is not None:
                     tr.event(
                         Stage.TCP_RX,
@@ -290,6 +310,9 @@ class Kernel:
         if conn is None:
             skb.free()
             consume(costs.skb_free, Category.BUFFER)
+            if led is not None:
+                led.pop_stage()
+                led.set_flow(prev_flow)
             if tr is not None:
                 tr.event(
                     Stage.TCP_RX,
@@ -339,6 +362,9 @@ class Kernel:
         consume(costs.skb_free, Category.BUFFER)
         if skb.nr_frags:
             consume(costs.frag_buffer_release * skb.nr_frags, Category.BUFFER)
+        if led is not None:
+            led.pop_stage()
+            led.set_flow(prev_flow)
         if tr is not None:
             tr.event(
                 Stage.TCP_RX,
@@ -397,11 +423,20 @@ class Kernel:
             return
         costs = self.cpu.costs
         consume = self.cpu.consume
+        led = self._led
+        if led is not None:
+            led.push_stage("sock_read")
+            prev_flow = led.set_flow(UNATTRIBUTED)
         consume(costs.wakeup, Category.MISC)
         tr = self._tr
         dirty, self._dirty_sockets = self._dirty_sockets, []
         for sock in dirty:
             sock.dirty = False
+            if led is not None:
+                # Server-side connection keys are reversed (src = this
+                # host), so the service port classifying the flow is
+                # the key's *source* port.
+                led.set_flow(led.flow_for_port(sock.conn.key.src_port))
             nbytes = sock.pending_bytes
             if nbytes <= 0:
                 continue
@@ -447,6 +482,9 @@ class Kernel:
             if sock.on_data_cb is not None:
                 for payload, length in pending:
                     sock.on_data_cb(sock, payload, length)
+        if led is not None:
+            led.pop_stage()
+            led.set_flow(prev_flow)
 
     # ------------------------------------------------------------------
     # transport interface (costed transmit paths)
@@ -461,6 +499,10 @@ class Kernel:
         """Data/control segment transmit path (handshake, responses, FIN)."""
         costs = self.cpu.costs
         consume = self.cpu.consume
+        led = self._led
+        if led is not None:
+            prev_flow = led.set_flow(led.flow_for_port(conn.key.src_port))
+            led.push_stage("tx")
         if pkt.payload_len > 0:
             # Copy from user space into the kernel send buffer.
             consume(costs.copy_cycles(pkt.payload_len), Category.PER_BYTE)
@@ -472,6 +514,9 @@ class Kernel:
         # mode) or deferred-valid (length-only mode); no recompute needed.
         self._driver_for(conn).tx(pkt)
         consume(costs.skb_free, Category.BUFFER)
+        if led is not None:
+            led.pop_stage()
+            led.set_flow(prev_flow)
 
     def send_acks(self, conn: TcpConnection, event: AckEvent) -> None:
         """Pure-ACK transmit path — the Acknowledgment Offload hook (§4)."""
@@ -479,6 +524,10 @@ class Kernel:
         consume = self.cpu.consume
         driver = self._driver_for(conn)
         tr = self._tr
+        led = self._led
+        if led is not None:
+            prev_flow = led.set_flow(led.flow_for_port(conn.key.src_port))
+            led.push_stage("ack_tx")
         if self.opt.ack_offload and len(event.acks) > 1:
             # One template ACK through the stack, expanded at the driver.
             consume(costs.tcp_tx_ack, Category.TX)
@@ -496,6 +545,9 @@ class Kernel:
                         args={"acks": len(event.acks)},
                     )
                 driver.tx_template(skb)
+                if led is not None:
+                    led.pop_stage()
+                    led.set_flow(prev_flow)
                 return
             # Pool exhausted (fault window): fall back to sending the batch
             # as individual ACKs — the wire still sees every ACK.
@@ -515,3 +567,6 @@ class Kernel:
                 )
             driver.tx(pkt, pure_ack=True)
             consume(costs.skb_free, Category.BUFFER)
+        if led is not None:
+            led.pop_stage()
+            led.set_flow(prev_flow)

@@ -41,6 +41,7 @@ from repro.mq.costs import CrossCpuCostModel
 from repro.mq.steering import SteeringPolicy
 from repro.net.flow import FlowKey
 from repro.net.packet import Packet
+from repro.obs.ledger import UNATTRIBUTED
 from repro.obs.trace import Stage, cpu_tid
 from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConnection
@@ -177,9 +178,14 @@ class MqKernel(Kernel):
         if tr is not None:
             t0 = max(self.cpu.busy_until, self.sim.now)
             n_in = len(aggregator.queue)
+        led = self._led
+        if led is not None:
+            led.push_stage("softirq")
         self.cpu.consume(self.cpu.costs.softirq_dispatch, Category.MISC)
         aggregator.run()
         self.app_drain()
+        if led is not None:
+            led.pop_stage()
         if tr is not None:
             tr.event(
                 Stage.AGGR_RUN,
@@ -237,6 +243,10 @@ class MqKernel(Kernel):
         if not self._dirty_sockets:
             return
         softirq_idx = self._current_idx
+        led = self._led
+        if led is not None:
+            led.push_stage("sock_read")
+            prev_flow = led.set_flow(UNATTRIBUTED)
         self.cpu.consume(self.cpu.costs.wakeup, Category.MISC)
         tr = self._tr
         dirty, self._dirty_sockets = self._dirty_sockets, []
@@ -246,6 +256,9 @@ class MqKernel(Kernel):
                 nbytes = sock.pending_bytes
                 if nbytes <= 0:
                     continue
+                if led is not None:
+                    # Server-side keys are reversed: src port = service port.
+                    led.set_flow(led.flow_for_port(sock.conn.key.src_port))
                 app_idx = sock.app_cpu_index
                 if app_idx != softirq_idx:
                     # Cross-CPU wakeup: IPI from the softirq CPU, interrupt
@@ -313,6 +326,9 @@ class MqKernel(Kernel):
                 self._current_idx = softirq_idx
         finally:
             self._current_idx = softirq_idx
+            if led is not None:
+                led.pop_stage()
+                led.set_flow(prev_flow)
 
     # ------------------------------------------------------------------
     # transmit: one tx driver per CPU per destination

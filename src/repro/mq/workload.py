@@ -22,7 +22,12 @@ from repro.sim.engine import Simulator
 from repro.tcp.connection import TcpConfig
 from repro.tcp.source import InfiniteSource
 from repro.workloads.results import ThroughputResult
-from repro.workloads.stream import SERVER_PORT, bind_observation
+from repro.workloads.stream import (
+    SERVER_PORT,
+    bind_ledger,
+    bind_observation,
+    stamp_ledger_measurement,
+)
 
 
 def build_mq_stream_rig(
@@ -99,6 +104,7 @@ def _run_mq_observed(
         config, opt, queues, steering, n_connections
     )
     bind_observation(obs, sim, machine, senders, horizon=warmup + duration)
+    bind_ledger(obs, warmup, {SERVER_PORT: "stream"})
 
     sim.run(until=warmup)
     profile0 = _merged_snapshot(machine, sim.now)
@@ -116,6 +122,7 @@ def _run_mq_observed(
     capacity = duration * machine.cpus[0].freq_hz * queues
     utilization = min(1.0, busy / capacity)
     n_pkts = max(1, delta.network_packets)
+    stamp_ledger_measurement(obs, delta, bytes_rx)
 
     return ThroughputResult(
         system=f"{config.name}/mq{queues}-{machine.steering.name}",

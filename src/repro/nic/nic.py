@@ -26,7 +26,7 @@ from repro.net.flow import FlowKey
 from repro.net.packet import Packet
 from repro.nic.lro import LroEngine
 from repro.nic.queue import RxQueue
-from repro.obs.runtime import active_tracer
+from repro.obs.runtime import active_ledger, active_tracer
 from repro.obs.trace import Stage
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
@@ -79,6 +79,10 @@ class Nic:
         #: Lifecycle tracer captured at construction (None when tracing is
         #: off — the hot path pays one attribute load and a None check).
         self._tr = active_tracer()
+        #: Cycle ledger captured at construction — counts wire frames per
+        #: (flow class, phase) for the differential profiler's per-packet
+        #: normalization (the NIC itself charges no CPU cycles).
+        self._led = active_ledger()
 
         #: Adaptive interrupt moderation (e1000 AIM): low arrival rates
         #: (latency-sensitive traffic) get immediate interrupts; bulk

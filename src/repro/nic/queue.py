@@ -91,6 +91,9 @@ class RxQueue:
                 # checksum; the simulation trusts its own senders.
                 pkt.csum_verified = True
                 stats.rx_csum_offloaded += 1
+        led = nic._led
+        if led is not None:
+            led.count_packet(pkt.tcp.dst_port, now)
         tr = nic._tr
         mem = self.mem
         if self.lro is not None:

@@ -1,6 +1,6 @@
-"""Observability subsystem: lifecycle tracing, metrics registry, sampling.
+"""Observability subsystem: tracing, metrics, sampling, cycle attribution.
 
-Three layers, all zero-overhead when disabled:
+Four layers, all zero-overhead when disabled:
 
 * :mod:`repro.obs.trace` — per-packet lifecycle span events in a bounded
   ring, exported as Chrome trace-event JSON (open in Perfetto).
@@ -8,12 +8,28 @@ Three layers, all zero-overhead when disabled:
   and log2 histograms across NIC rings, LRO, aggregation, steering, and TCP.
 * :mod:`repro.obs.sampler` — sim-time periodic sampling of throughput,
   cwnd, and queue depths into exportable time series.
+* :mod:`repro.obs.ledger` — exact cycle attribution along (cpu, category,
+  lifecycle stage, flow class, sim-time phase), reconciled bit-exactly
+  against the profiler and ``busy_cycles``; :mod:`repro.obs.diff` computes
+  exact differential profiles and :mod:`repro.obs.flame` exports
+  collapsed-stack flamegraphs.
 
 Lifecycle: :func:`configure` (process-global, like the sanitizer), then each
 run opens :func:`observe`; components capture :func:`active_tracer` /
-:func:`active_metrics` at construction.  See DESIGN.md §8.
+:func:`active_metrics` / :func:`active_ledger` at construction.  See
+DESIGN.md §8 and §11.
 """
 
+from repro.obs.diff import LedgerDiff, diff_ledgers
+from repro.obs.flame import check_flame_text, collapsed_lines, collapsed_text
+from repro.obs.ledger import (
+    DIMENSIONS,
+    UNATTRIBUTED,
+    UNIT_SCALE,
+    CycleLedger,
+    check_ledger_document,
+    ledger_documents,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -26,6 +42,7 @@ from repro.obs.runtime import (
     ObsConfig,
     Observation,
     active,
+    active_ledger,
     active_metrics,
     active_tracer,
     completed_chrome_trace,
@@ -50,6 +67,18 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "LedgerDiff",
+    "diff_ledgers",
+    "check_flame_text",
+    "collapsed_lines",
+    "collapsed_text",
+    "DIMENSIONS",
+    "UNATTRIBUTED",
+    "UNIT_SCALE",
+    "CycleLedger",
+    "check_ledger_document",
+    "ledger_documents",
+    "active_ledger",
     "Counter",
     "Gauge",
     "Log2Histogram",

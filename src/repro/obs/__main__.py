@@ -1,13 +1,24 @@
-"""Schema checks for exported observability JSON.
+"""Schema checks and differential profiling for exported observability JSON.
 
 Usage::
 
     python -m repro.obs check trace.json [metrics.json capture.json ...]
+    python -m repro.obs diff A.json B.json [--expect-empty] [--json]
 
-Auto-detects the document kind (Chrome trace, metrics dump, observation
-bundle, or packet-capture export), validates its shape, and prints a
-one-line summary per file.  Exit status 0 iff every file validates —
-this is what CI's ``obs-quick`` job runs on the artifacts of a traced run.
+``check`` auto-detects the document kind (Chrome trace, metrics dump,
+observation bundle, packet-capture export, cycle ledger, or collapsed-stack
+flame file), validates its shape, and prints a one-line summary per file.
+Ring truncation (``events_dropped`` / ``records_dropped``) is reported as a
+loud WARNING — the totals-based reconciliation still holds, but per-event
+artifacts are incomplete.  Exit status 0 iff every file validates — this is
+what CI's ``obs-quick`` and ``obs-diff`` jobs run on the artifacts of a
+traced run.
+
+``diff`` extracts the cycle ledgers from two exports (raw ledgers,
+observations, or ``{"runs": [...]}`` bundles — paired by index), prints the
+exact differential profile, and fails on any reconciliation problem.
+``--expect-empty`` additionally fails if the ledgers differ at all (CI's
+self-diff determinism gate).
 """
 
 from __future__ import annotations
@@ -17,6 +28,13 @@ import json
 import sys
 from typing import List, Tuple
 
+from repro.obs.diff import diff_ledgers
+from repro.obs.flame import check_flame_text
+from repro.obs.ledger import (
+    SCHEMA as LEDGER_SCHEMA,
+    check_ledger_document,
+    ledger_documents,
+)
 from repro.obs.trace import validate_chrome_trace
 
 _METRIC_KINDS = {"counter", "gauge", "histogram"}
@@ -94,6 +112,8 @@ def _check_breakdown(doc: dict) -> List[str]:
 
 def check_document(doc: object) -> Tuple[str, List[str]]:
     """Classify a parsed JSON document and validate it; returns (kind, problems)."""
+    if isinstance(doc, dict) and doc.get("schema") == LEDGER_SCHEMA:
+        return "cycle-ledger", check_ledger_document(doc)
     if isinstance(doc, dict) and "traceEvents" in doc:
         return "chrome-trace", validate_chrome_trace(doc)
     if isinstance(doc, dict) and "records" in doc:
@@ -111,7 +131,9 @@ def check_document(doc: object) -> Tuple[str, List[str]]:
         "breakdown" in doc or "rows" in doc
     ):
         return "profile", _check_breakdown(doc)
-    if isinstance(doc, dict) and ("trace" in doc or "metrics" in doc or "series" in doc):
+    if isinstance(doc, dict) and (
+        "trace" in doc or "metrics" in doc or "series" in doc or "ledger" in doc
+    ):
         problems = []
         if "metrics" in doc:
             problems += _check_metrics(doc["metrics"])
@@ -119,6 +141,8 @@ def check_document(doc: object) -> Tuple[str, List[str]]:
             problems += _check_series(doc["series"])
         if "trace" in doc and "span_counts" not in doc["trace"]:
             problems.append("trace summary has no span_counts")
+        if "ledger" in doc:
+            problems += [f"ledger: {p}" for p in check_ledger_document(doc["ledger"])]
         return "observation", problems
     if isinstance(doc, dict) and doc and all(
         isinstance(v, dict) and "kind" in v for v in doc.values()
@@ -127,30 +151,128 @@ def check_document(doc: object) -> Tuple[str, List[str]]:
     return "unknown", ["unrecognized observability document"]
 
 
+def collect_warnings(doc: object, prefix: str = "") -> List[str]:
+    """Non-fatal-but-loud conditions: dropped trace events / capture records.
+
+    A truncated ring means per-event artifacts are incomplete even though
+    the totals (span counts, ledger cells) stay exact; surface it so nobody
+    trusts a partial timeline silently.
+    """
+    warnings: List[str] = []
+    if not isinstance(doc, dict):
+        return warnings
+    dropped = doc.get("records_dropped")
+    if isinstance(dropped, int) and dropped > 0:
+        warnings.append(
+            f"{prefix}capture ring dropped {dropped} record(s) — "
+            "oldest packets are missing from the export"
+        )
+    trace = doc.get("trace")
+    if isinstance(trace, dict):
+        dropped = trace.get("events_dropped")
+        if isinstance(dropped, int) and dropped > 0:
+            warnings.append(
+                f"{prefix}trace ring dropped {dropped} event(s) — "
+                "oldest lifecycle spans are missing from the export"
+            )
+    for i, run in enumerate(doc.get("runs", []) or []):
+        warnings += collect_warnings(run, prefix=f"runs[{i}]: ")
+    return warnings
+
+
+def _check_one_file(path: str) -> int:
+    """Validate one artifact file; returns 0/1.  Non-JSON files are
+    validated as collapsed-stack flame text."""
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        print(f"{path}: unreadable ({exc})")
+        return 1
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        problems = check_flame_text(text)
+        kind = "flame"
+    else:
+        kind, problems = check_document(doc)
+        for warning in collect_warnings(doc):
+            print(f"{path}: WARNING: {warning}")
+    if problems:
+        print(f"{path}: {kind}: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"{path}: {kind}: ok")
+    return 0
+
+
+def _load_ledgers(path: str) -> List[dict]:
+    with open(path) as fh:
+        doc = json.load(fh)
+    ledgers = ledger_documents(doc)
+    if not ledgers:
+        raise ValueError(f"{path}: no cycle-ledger documents found")
+    return ledgers
+
+
+def _run_diff(args) -> int:
+    try:
+        ledgers_a = _load_ledgers(args.file_a)
+        ledgers_b = _load_ledgers(args.file_b)
+    except (OSError, ValueError) as exc:
+        print(exc)
+        return 1
+    if len(ledgers_a) != len(ledgers_b):
+        print(
+            f"cannot pair runs: {args.file_a} has {len(ledgers_a)} ledger(s), "
+            f"{args.file_b} has {len(ledgers_b)}"
+        )
+        return 1
+    status = 0
+    reports = []
+    for a, b in zip(ledgers_a, ledgers_b):
+        diff = diff_ledgers(a, b)
+        reports.append(diff)
+        if diff.problems:
+            status = 1
+        if args.expect_empty and not diff.is_empty():
+            status = 1
+    if args.json:
+        print(json.dumps([d.to_json() for d in reports], indent=1, sort_keys=True))
+    else:
+        for diff in reports:
+            print(diff.format_report())
+    if args.expect_empty and any(not d.is_empty() for d in reports):
+        print("FAIL: expected identical ledgers, found differences")
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.obs")
     sub = parser.add_subparsers(dest="command", required=True)
-    p_check = sub.add_parser("check", help="validate exported observability JSON")
+    p_check = sub.add_parser("check", help="validate exported observability artifacts")
     p_check.add_argument("files", nargs="+", metavar="FILE")
+    p_diff = sub.add_parser(
+        "diff", help="exact differential profile of two cycle-ledger exports"
+    )
+    p_diff.add_argument("file_a", metavar="A.json")
+    p_diff.add_argument("file_b", metavar="B.json")
+    p_diff.add_argument(
+        "--expect-empty",
+        action="store_true",
+        help="fail if the ledgers differ at all (determinism gate)",
+    )
+    p_diff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON instead of text"
+    )
     args = parser.parse_args(argv)
 
+    if args.command == "diff":
+        return _run_diff(args)
     status = 0
     for path in args.files:
-        try:
-            with open(path) as fh:
-                doc = json.load(fh)
-        except (OSError, ValueError) as exc:
-            print(f"{path}: unreadable ({exc})")
-            status = 1
-            continue
-        kind, problems = check_document(doc)
-        if problems:
-            status = 1
-            print(f"{path}: {kind}: {len(problems)} problem(s)")
-            for problem in problems:
-                print(f"  - {problem}")
-        else:
-            print(f"{path}: {kind}: ok")
+        status |= _check_one_file(path)
     return status
 
 

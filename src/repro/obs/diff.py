@@ -1,0 +1,186 @@
+"""Differential profiling over cycle-ledger exports.
+
+``python -m repro.obs diff A.json B.json`` — the native tool for
+copy-vs-zcrx, governor-on/off, RSS-vs-aRFS, baseline-vs-optimized
+comparisons.  All arithmetic happens on the ledger's exact integer units
+(2^-64 cycles), so every marginal delta sums to the total delta
+*exactly*; the reconciliation check is ``==``, not a tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.ledger import DIMENSIONS, UNIT_SCALE_F
+
+#: The phase differential per-packet tables normalize over when present.
+MEASURE_PHASE = "measure"
+
+
+def cell_units(led: dict) -> Dict[Tuple[str, ...], int]:
+    """Map each cell's five-dimensional key to its exact units."""
+    out: Dict[Tuple[str, ...], int] = {}
+    for cell in led["cells"]:
+        key = tuple(cell[d] for d in DIMENSIONS)
+        out[key] = out.get(key, 0) + cell["units"]
+    return out
+
+
+def marginal(led: dict, dim: str, phase: Optional[str] = None) -> Dict[str, int]:
+    """Exact units summed along one dimension (optionally phase-filtered)."""
+    i = DIMENSIONS.index(dim)
+    p = DIMENSIONS.index("phase")
+    out: Dict[str, int] = {}
+    for cell in led["cells"]:
+        if phase is not None and cell[DIMENSIONS[p]] != phase:
+            continue
+        key = cell[DIMENSIONS[i]]
+        out[key] = out.get(key, 0) + cell["units"]
+    return out
+
+
+def packet_total(led: dict, phase: Optional[str] = None) -> int:
+    return sum(
+        row["packets"]
+        for row in led.get("packets", [])
+        if phase is None or row["phase"] == phase
+    )
+
+
+def _measure_packets(led: dict) -> Optional[int]:
+    """Measurement-window wire frames: profiler count from meta when the
+    workload stamped it, else the ledger's own measure-phase frame count."""
+    measure = led.get("meta", {}).get("measure")
+    if isinstance(measure, dict) and isinstance(measure.get("network_packets"), int):
+        return measure["network_packets"]
+    n = packet_total(led, MEASURE_PHASE)
+    return n if n > 0 else None
+
+
+class LedgerDiff:
+    """The exact delta between two ledger documents (B minus A)."""
+
+    def __init__(self, a: dict, b: dict):
+        self.a_label = a.get("label", "A")
+        self.b_label = b.get("label", "B")
+        au, bu = cell_units(a), cell_units(b)
+        #: per-cell exact deltas, zero rows dropped
+        self.cells: Dict[Tuple[str, ...], int] = {}
+        for key in set(au) | set(bu):
+            d = bu.get(key, 0) - au.get(key, 0)
+            if d:
+                self.cells[key] = d
+        self.total_units = sum(bu.values()) - sum(au.values())
+        #: dim -> [(value, a_units, b_units)] for values whose delta != 0
+        self.dims: Dict[str, List[Tuple[str, int, int]]] = {}
+        for dim in DIMENSIONS:
+            ma, mb = marginal(a, dim), marginal(b, dim)
+            rows = [
+                (value, ma.get(value, 0), mb.get(value, 0))
+                for value in sorted(set(ma) | set(mb))
+                if mb.get(value, 0) != ma.get(value, 0)
+            ]
+            if rows:
+                self.dims[dim] = rows
+        #: (flow, phase) -> packet delta
+        self.packets: Dict[Tuple[str, str], int] = {}
+        pa = {(r["flow"], r["phase"]): r["packets"] for r in a.get("packets", [])}
+        pb = {(r["flow"], r["phase"]): r["packets"] for r in b.get("packets", [])}
+        for key in set(pa) | set(pb):
+            d = pb.get(key, 0) - pa.get(key, 0)
+            if d:
+                self.packets[key] = d
+        #: category -> (a cycles/pkt, b cycles/pkt) over the measure phase
+        self.per_packet: Dict[str, Tuple[float, float]] = {}
+        na, nb = _measure_packets(a), _measure_packets(b)
+        if na and nb:
+            ca = marginal(a, "category", MEASURE_PHASE)
+            cb = marginal(b, "category", MEASURE_PHASE)
+            for cat in sorted(set(ca) | set(cb)):
+                self.per_packet[cat] = (
+                    ca.get(cat, 0) / UNIT_SCALE_F / na,
+                    cb.get(cat, 0) / UNIT_SCALE_F / nb,
+                )
+        #: exact-sum reconciliation failures (must be empty)
+        self.problems: List[str] = []
+        cell_sum = sum(self.cells.values())
+        if cell_sum != self.total_units:
+            self.problems.append(
+                f"cell delta sum {cell_sum} != total delta {self.total_units}"
+            )
+        for dim in DIMENSIONS:
+            dim_sum = sum(b_ - a_ for _v, a_, b_ in self.dims.get(dim, []))
+            if dim_sum != self.total_units:
+                self.problems.append(
+                    f"{dim} marginal delta sum {dim_sum} != "
+                    f"total delta {self.total_units}"
+                )
+
+    def is_empty(self) -> bool:
+        return not self.cells and not self.packets
+
+    def to_json(self) -> dict:
+        return {
+            "a": self.a_label,
+            "b": self.b_label,
+            "total_delta_units": self.total_units,
+            "total_delta_cycles": self.total_units / UNIT_SCALE_F,
+            "dims": {
+                dim: [
+                    {
+                        "value": value,
+                        "a_units": a_,
+                        "b_units": b_,
+                        "delta_cycles": (b_ - a_) / UNIT_SCALE_F,
+                    }
+                    for value, a_, b_ in rows
+                ]
+                for dim, rows in self.dims.items()
+            },
+            "packets": [
+                {"flow": flow, "phase": phase, "delta": d}
+                for (flow, phase), d in sorted(self.packets.items())
+            ],
+            "per_packet_cycles": {
+                cat: {"a": a_, "b": b_, "delta": b_ - a_}
+                for cat, (a_, b_) in self.per_packet.items()
+            },
+            "problems": list(self.problems),
+        }
+
+    def format_report(self) -> str:
+        lines = [f"ledger diff: {self.b_label} minus {self.a_label}"]
+        if self.is_empty():
+            lines.append("  no differences")
+            return "\n".join(lines)
+        lines.append(
+            f"  total: {self.total_units / UNIT_SCALE_F:+,.1f} cycles"
+        )
+        for dim in DIMENSIONS:
+            rows = self.dims.get(dim)
+            if not rows:
+                continue
+            lines.append(f"  by {dim}:")
+            for value, a_, b_ in rows:
+                lines.append(
+                    f"    {value:<28} {(b_ - a_) / UNIT_SCALE_F:+16,.1f} cycles"
+                    f"  ({a_ / UNIT_SCALE_F:,.1f} -> {b_ / UNIT_SCALE_F:,.1f})"
+                )
+        if self.packets:
+            lines.append("  packets:")
+            for (flow, phase), d in sorted(self.packets.items()):
+                lines.append(f"    {flow}/{phase:<16} {d:+d} frames")
+        if self.per_packet:
+            lines.append(f"  cycles/packet over phase '{MEASURE_PHASE}':")
+            for cat, (a_, b_) in self.per_packet.items():
+                lines.append(
+                    f"    {cat:<28} {b_ - a_:+10.1f}  ({a_:.1f} -> {b_:.1f})"
+                )
+        for p in self.problems:
+            lines.append(f"  RECONCILIATION FAILURE: {p}")
+        return "\n".join(lines)
+
+
+def diff_ledgers(a: dict, b: dict) -> LedgerDiff:
+    """Exact differential profile of two ledger documents (B minus A)."""
+    return LedgerDiff(a, b)

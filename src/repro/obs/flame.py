@@ -1,0 +1,60 @@
+"""Collapsed-stack flamegraph export of the cycle ledger.
+
+One line per ledger cell in Brendan Gregg's collapsed format
+(``frame;frame;frame value``), so the output feeds straight into
+``flamegraph.pl`` or speedscope.  The frame stack is the ledger's
+dimension order — cpu, phase, flow, the stage path (one frame per
+stage), and the profiler category as the leaf — and the value is the
+cell's cycles rounded to an integer (flamegraph values are counts).
+Lines are emitted in sorted order, so a seeded rerun produces a
+byte-identical file.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.ledger import UNATTRIBUTED, UNIT_SCALE_F
+
+
+def collapsed_lines(led: dict) -> List[str]:
+    """Collapsed-stack lines for one ledger document, sorted."""
+    merged = {}
+    for cell in led["cells"]:
+        frames = [cell["cpu"], cell["phase"], cell["flow"]]
+        stage = cell["stage"]
+        if stage != UNATTRIBUTED:
+            frames.extend(stage.split(";"))
+        frames.append(cell["category"])
+        stack = ";".join(frames)
+        merged[stack] = merged.get(stack, 0) + cell["units"]
+    return [
+        f"{stack} {round(units / UNIT_SCALE_F)}"
+        for stack, units in sorted(merged.items())
+    ]
+
+
+def collapsed_text(ledgers: List[dict]) -> str:
+    """One collapsed-stack file for a list of ledger documents."""
+    lines: List[str] = []
+    for led in ledgers:
+        lines.extend(collapsed_lines(led))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def check_flame_text(text: str) -> List[str]:
+    """Validate collapsed-stack text: ``frames... <int>`` per line."""
+    problems: List[str] = []
+    for i, line in enumerate(text.splitlines()):
+        if not line:
+            problems.append(f"line {i + 1}: empty")
+            continue
+        stack, sep, value = line.rpartition(" ")
+        if not sep or not stack:
+            problems.append(f"line {i + 1}: no 'stack value' split")
+            continue
+        if not value.lstrip("-").isdigit():
+            problems.append(f"line {i + 1}: value {value!r} not an integer")
+        if not all(stack.split(";")):
+            problems.append(f"line {i + 1}: empty frame in {stack!r}")
+    return problems

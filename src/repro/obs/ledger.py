@@ -1,0 +1,333 @@
+"""Exact cycle attribution along (cpu, category, stage, flow, phase).
+
+The profiler (PR 1) answers *what kind* of work cycles went to; the ledger
+answers the rest of the paper's question — *where in the lifecycle*, *for
+which traffic class*, and *when in the run* — without giving up a single
+cycle of accounting precision.  Every charge that flows through
+:meth:`repro.cpu.cpu.Cpu.consume` lands in exactly one ledger cell keyed
+by five dimensions:
+
+========  ==============================================================
+cpu       ``Cpu.name`` — which processor did the work
+category  the profiler category, *post* lock inflation
+stage     the lifecycle stage stack (``driver.isr;softirq;tcp_rx``),
+          pushed/popped by the instrumented routines; ``-`` = unattributed
+flow      connection class resolved from the packet/socket destination
+          port via :attr:`CycleLedger.port_class`; ``-`` = no flow context
+phase     sim-time phase (``warmup``/``measure``) from
+          :meth:`CycleLedger.set_phases`; ``-`` = before the first phase
+========  ==============================================================
+
+Reconciliation contract (enforced by :meth:`CycleLedger.verify`, audited
+by the runtime sanitizer):
+
+1. For every CPU, the ledger's float shadow of ``busy_cycles`` is
+   **bit-equal** to ``cpu.busy_cycles``.
+2. For every (cpu, category), the float shadow is **bit-equal** to the
+   profiler's per-category total.
+3. For every (cpu, category), the sum of exact integer cell units equals
+   the exact integer per-(cpu, category) total.
+
+Floats reassociate: on SMP/Xen the lock-inflated charges are full-mantissa
+doubles, so ``sum(categories) == busy_cycles`` does *not* hold bit-exactly
+in float arithmetic.  The ledger therefore keeps two books.  The *shadow*
+accumulators repeat the identical sequence of float additions the profiler
+and ``busy_cycles`` perform, so checks 1–2 are exact by construction.  The
+*cells* hold integers in units of 2^-64 cycles: ``cycles * 2.0**64``
+is a float scaled by a power of two (never rounds) and every charge is
+large enough that the product is exactly representable, so Python's
+arbitrary-precision integers make check 3 — and every marginal sum the
+differential profiler computes — exact regardless of order.
+
+Zero-overhead when off: components capture ``active_ledger()`` at
+construction (the tracer's ``self._tr`` idiom), so the disabled hot path
+is one attribute load and a ``None`` check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Cell units are 2**-64 cycles.  ``cycles * UNIT_SCALE_F`` is exact for any
+#: charge >= 2**-11 cycles (the smallest real charge is ~1 cycle), because
+#: multiplying a float by a power of two only shifts the exponent.
+UNIT_SCALE = 2 ** 64
+UNIT_SCALE_F = float(UNIT_SCALE)
+
+#: Placeholder for "no context" along the stage/flow/phase dimensions.
+UNATTRIBUTED = "-"
+
+#: Flow class for packets whose destination port has no registered class.
+DEFAULT_FLOW = "other"
+
+DIMENSIONS = ("cpu", "category", "stage", "flow", "phase")
+
+SCHEMA = "repro-cycle-ledger-v1"
+
+
+class CycleLedger:
+    """Exact five-dimensional cycle ledger for one observation."""
+
+    __slots__ = (
+        "label",
+        "cells",
+        "cat_units",
+        "cat_float",
+        "cpu_float",
+        "packets",
+        "port_class",
+        "meta",
+        "_stage_stack",
+        "_stage_path",
+        "_flow",
+        "_phases",
+        "_phase_idx",
+        "_phase",
+    )
+
+    def __init__(self, label: str = "run"):
+        self.label = label
+        #: (cpu, category, stage, flow, phase) -> [units, charges]
+        self.cells: Dict[Tuple[str, str, str, str, str], List[int]] = {}
+        #: (cpu, category) -> exact integer units (check 3's right-hand side)
+        self.cat_units: Dict[Tuple[str, str], int] = {}
+        #: (cpu, category) -> float shadow of the profiler accumulator
+        self.cat_float: Dict[Tuple[str, str], float] = {}
+        #: cpu -> float shadow of ``busy_cycles``
+        self.cpu_float: Dict[str, float] = {}
+        #: (flow, phase) -> wire frames accepted by the NIC
+        self.packets: Dict[Tuple[str, str], int] = {}
+        #: destination port -> flow class (workloads register their ports)
+        self.port_class: Dict[int, str] = {}
+        #: run annotations (measurement-window packet counts, system, ...)
+        self.meta: dict = {}
+        self._stage_stack: List[str] = []
+        self._stage_path = UNATTRIBUTED
+        self._flow = UNATTRIBUTED
+        #: sorted (start_time, name); index 0 is the pre-phase sentinel
+        self._phases: List[Tuple[float, str]] = []
+        self._phase_idx = 0
+        self._phase = UNATTRIBUTED
+
+    # ------------------------------------------------------------------
+    # context: stage stack, flow class, phases
+    # ------------------------------------------------------------------
+    def push_stage(self, name: str) -> None:
+        stack = self._stage_stack
+        stack.append(name)
+        self._stage_path = ";".join(stack)
+
+    def pop_stage(self) -> None:
+        stack = self._stage_stack
+        stack.pop()
+        self._stage_path = ";".join(stack) if stack else UNATTRIBUTED
+
+    def set_flow(self, flow: str) -> str:
+        """Set the current flow class; returns the previous one to restore."""
+        prev = self._flow
+        self._flow = flow
+        return prev
+
+    def flow_for_port(self, port: int) -> str:
+        return self.port_class.get(port, DEFAULT_FLOW)
+
+    def set_phases(self, phases: Iterable[Tuple[str, float]]) -> None:
+        """Declare sim-time phases as (name, start_time) boundaries.
+
+        Sim time is non-decreasing, so the charge path advances through the
+        sorted boundaries monotonically — one comparison per charge in the
+        steady state.
+        """
+        items = sorted((float(t), str(name)) for name, t in phases)
+        self._phases = [(-1.0, UNATTRIBUTED)] + items
+        self._phase_idx = 0
+        self._phase = UNATTRIBUTED
+
+    def _advance_phase(self, now: float) -> None:
+        phases = self._phases
+        i = self._phase_idx
+        last = len(phases) - 1
+        while i < last and now >= phases[i + 1][0]:
+            i += 1
+        if i != self._phase_idx:
+            self._phase_idx = i
+            self._phase = phases[i][1]
+
+    # ------------------------------------------------------------------
+    # charge paths
+    # ------------------------------------------------------------------
+    def charge(self, cpu, cycles: float, category: str) -> None:
+        """Record one post-inflation charge from ``Cpu.consume``."""
+        if self._phases:
+            self._advance_phase(cpu.sim.now)
+        units = int(cycles * UNIT_SCALE_F)
+        name = cpu.name
+        key = (name, category, self._stage_path, self._flow, self._phase)
+        cell = self.cells.get(key)
+        if cell is None:
+            self.cells[key] = [units, 1]
+        else:
+            cell[0] += units
+            cell[1] += 1
+        ck = (name, category)
+        cat_units = self.cat_units
+        cat_units[ck] = cat_units.get(ck, 0) + units
+        # Shadows repeat the exact float additions the profiler slot and
+        # busy_cycles perform, so they stay bit-equal by construction.
+        cat_float = self.cat_float
+        cat_float[ck] = cat_float.get(ck, 0.0) + cycles
+        cpu_float = self.cpu_float
+        cpu_float[name] = cpu_float.get(name, 0.0) + cycles
+
+    def count_packet(self, dst_port: int, now: float) -> None:
+        """Count one wire frame against its (flow, phase) cell."""
+        if self._phases:
+            self._advance_phase(now)
+        key = (self.port_class.get(dst_port, DEFAULT_FLOW), self._phase)
+        packets = self.packets
+        packets[key] = packets.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # reconciliation
+    # ------------------------------------------------------------------
+    def verify(self, cpus: Iterable) -> List[str]:
+        """Audit the reconciliation contract; returns human-readable problems.
+
+        ``cpus`` are the :class:`~repro.cpu.cpu.Cpu` objects whose charges
+        this ledger observed (i.e. built inside the same ``observe()``
+        block).  All three checks are exact ``==`` — no tolerance.
+        """
+        problems: List[str] = []
+        for cpu in cpus:
+            name = cpu.name
+            shadow = self.cpu_float.get(name, 0.0)
+            # The shadow replays the identical sequence of float additions
+            # busy_cycles performs, so bit-equality IS the reconciliation
+            # contract (DESIGN.md §11) — not an ulp-sensitive comparison.
+            if shadow != cpu.busy_cycles:  # simlint: allow(float-eq) -- bit-equal by construction
+                problems.append(
+                    f"{name}: busy shadow {shadow!r} != busy_cycles "
+                    f"{cpu.busy_cycles!r}"
+                )
+            for cat, total in cpu.profiler.cycles.items():
+                shadow_cat = self.cat_float.get((name, cat), 0.0)
+                if shadow_cat != total:
+                    problems.append(
+                        f"{name}/{cat}: category shadow {shadow_cat!r} "
+                        f"!= profiler {total!r}"
+                    )
+        cell_sums: Dict[Tuple[str, str], int] = {}
+        for (name, cat, _stage, _flow, _phase), cell in self.cells.items():
+            ck = (name, cat)
+            cell_sums[ck] = cell_sums.get(ck, 0) + cell[0]
+        if cell_sums != self.cat_units:
+            for ck in sorted(set(cell_sums) | set(self.cat_units)):
+                got, want = cell_sums.get(ck, 0), self.cat_units.get(ck, 0)
+                if got != want:
+                    problems.append(
+                        f"{ck[0]}/{ck[1]}: cell units sum {got} != "
+                        f"recorded total {want}"
+                    )
+        return problems
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """Deterministic, self-describing ledger document."""
+        cells = [
+            {
+                "cpu": name,
+                "category": cat,
+                "stage": stage,
+                "flow": flow,
+                "phase": phase,
+                "units": cell[0],
+                "cycles": cell[0] / UNIT_SCALE_F,
+                "charges": cell[1],
+            }
+            for (name, cat, stage, flow, phase), cell in sorted(self.cells.items())
+        ]
+        total_units = sum(c["units"] for c in cells)
+        return {
+            "schema": SCHEMA,
+            "label": self.label,
+            "dimensions": list(DIMENSIONS),
+            "unit_scale_log2": 64,
+            "cells": cells,
+            "totals": {
+                "units": total_units,
+                "cycles": total_units / UNIT_SCALE_F,
+                "charges": sum(c["charges"] for c in cells),
+            },
+            "packets": [
+                {"flow": flow, "phase": phase, "packets": n}
+                for (flow, phase), n in sorted(self.packets.items())
+            ],
+            "meta": dict(self.meta),
+        }
+
+
+# ----------------------------------------------------------------------
+# document helpers (shared by diff/flame/check)
+# ----------------------------------------------------------------------
+def ledger_documents(doc: dict) -> List[dict]:
+    """Extract every ledger document from an exported JSON file.
+
+    Accepts a raw ledger document, an observation document with a
+    ``"ledger"`` section, or a ``{"runs": [...]}`` bundle of either.
+    """
+    if not isinstance(doc, dict):
+        return []
+    if doc.get("schema") == SCHEMA:
+        return [doc]
+    out: List[dict] = []
+    led = doc.get("ledger")
+    if isinstance(led, dict) and led.get("schema") == SCHEMA:
+        out.append(led)
+    for run in doc.get("runs", []) or []:
+        if isinstance(run, dict):
+            out.extend(ledger_documents(run))
+    return out
+
+
+def check_ledger_document(led: dict) -> List[str]:
+    """Schema + internal-consistency problems for one ledger document."""
+    problems: List[str] = []
+    for key in ("label", "dimensions", "cells", "totals", "packets"):
+        if key not in led:
+            problems.append(f"ledger missing {key!r}")
+    if problems:
+        return problems
+    if list(led["dimensions"]) != list(DIMENSIONS):
+        problems.append(f"ledger dimensions {led['dimensions']!r} != {DIMENSIONS!r}")
+    total_units = 0
+    total_charges = 0
+    for i, cell in enumerate(led["cells"]):
+        for key in DIMENSIONS:
+            if not isinstance(cell.get(key), str):
+                problems.append(f"cell {i} missing dimension {key!r}")
+        units = cell.get("units")
+        if not isinstance(units, int):
+            problems.append(f"cell {i} units not an integer")
+            continue
+        if not isinstance(cell.get("charges"), int) or cell["charges"] <= 0:
+            problems.append(f"cell {i} charges not a positive integer")
+        total_units += units
+        total_charges += cell.get("charges", 0)
+    totals = led["totals"]
+    if totals.get("units") != total_units:
+        problems.append(
+            f"ledger totals.units {totals.get('units')} != cell sum {total_units}"
+        )
+    if totals.get("charges") != total_charges:
+        problems.append(
+            f"ledger totals.charges {totals.get('charges')} != "
+            f"cell sum {total_charges}"
+        )
+    for i, row in enumerate(led["packets"]):
+        if not isinstance(row.get("flow"), str) or not isinstance(row.get("phase"), str):
+            problems.append(f"packet row {i} missing flow/phase")
+        if not isinstance(row.get("packets"), int) or row.get("packets", 0) < 0:
+            problems.append(f"packet row {i} packets not a non-negative integer")
+    return problems

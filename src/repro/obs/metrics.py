@@ -26,6 +26,7 @@ Naming convention (see DESIGN.md §8): dotted lowercase path
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, Iterable, List, Optional
 
 
@@ -99,6 +100,32 @@ class Log2Histogram:
         if self.total == 0:
             return 0.0
         return self.sum / self.total
+
+    def quantile(self, q: float) -> float:
+        """Deterministic q-quantile estimate (0 <= q <= 1).
+
+        Finds the bucket holding the ceil(q * total)-th sample and
+        interpolates linearly within its [lo, hi) range by the sample's
+        rank inside the bucket — pure integer bucket math plus one
+        division, so seeded reruns reproduce the value bit-exactly.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.total == 0:
+            return 0.0
+        # 1-based rank of the target sample under the nearest-rank rule.
+        rank = max(1, math.ceil(q * self.total))
+        seen = 0
+        for idx, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if seen + count >= rank:
+                lo = 0.0 if idx == 0 else float(2 ** (idx - 1))
+                hi = 1.0 if idx == 0 else float(2 ** idx)
+                within = rank - seen  # 1..count
+                return lo + (hi - lo) * (within / count)
+            seen += count
+        return float(2 ** (len(self.counts) - 1))  # pragma: no cover
 
     def buckets(self) -> List[Dict[str, float]]:
         """Non-empty buckets as ``{lo, hi, count}`` rows (hi exclusive)."""

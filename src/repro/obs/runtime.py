@@ -21,6 +21,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro.obs.ledger import CycleLedger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sampler import DEFAULT_SAMPLE_INTERVAL, TimeSeriesSampler
 from repro.obs.trace import DEFAULT_TRACE_LIMIT, Tracer, chrome_envelope
@@ -35,10 +36,16 @@ class ObsConfig:
     metrics: bool = False
     #: ``None`` disables sampling; otherwise the sim-time interval in seconds.
     sample_interval: Optional[float] = None
+    ledger: bool = False
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.sample_interval is not None
+        return (
+            self.trace
+            or self.metrics
+            or self.ledger
+            or self.sample_interval is not None
+        )
 
 
 @dataclass
@@ -49,6 +56,7 @@ class Observation:
     tracer: Optional[Tracer] = None
     metrics: Optional[MetricsRegistry] = None
     sampler: Optional[TimeSeriesSampler] = None
+    ledger: Optional[CycleLedger] = None
     #: Arbitrary per-run annotations (system name, queues, ...).
     meta: dict = field(default_factory=dict)
 
@@ -72,6 +80,8 @@ class Observation:
             doc["metrics"] = self.metrics.to_json()
         if self.sampler is not None:
             doc["series"] = self.sampler.to_json()
+        if self.ledger is not None:
+            doc["ledger"] = self.ledger.to_json()
         return doc
 
 
@@ -88,6 +98,7 @@ def configure(
     trace_limit: Optional[int] = None,
     metrics: Optional[bool] = None,
     sample_interval: Optional[float] = None,
+    ledger: Optional[bool] = None,
 ) -> ObsConfig:
     """Update the process-global observation config (None = leave as is)."""
     if trace is not None:
@@ -98,6 +109,8 @@ def configure(
         _config.metrics = metrics
     if sample_interval is not None:
         _config.sample_interval = sample_interval
+    if ledger is not None:
+        _config.ledger = ledger
     return _config
 
 
@@ -112,6 +125,7 @@ def reset() -> None:
     _config.trace_limit = DEFAULT_TRACE_LIMIT
     _config.metrics = False
     _config.sample_interval = None
+    _config.ledger = False
     _active = None
     _completed.clear()
 
@@ -136,6 +150,7 @@ def observe(label: str = "run") -> Iterator[Optional[Observation]]:
         label=label,
         tracer=Tracer(_config.trace_limit) if _config.trace else None,
         metrics=MetricsRegistry() if _config.metrics else None,
+        ledger=CycleLedger(label) if _config.ledger else None,
     )
     _active = obs
     try:
@@ -159,6 +174,12 @@ def active_metrics() -> Optional[MetricsRegistry]:
     """The registry components should capture at construction time (or None)."""
     obs = _active
     return obs.metrics if obs is not None else None
+
+
+def active_ledger() -> Optional[CycleLedger]:
+    """The ledger components should capture at construction time (or None)."""
+    obs = _active
+    return obs.ledger if obs is not None else None
 
 
 def drain_completed() -> List[Observation]:

@@ -141,8 +141,15 @@ class TimeSeriesSampler:
             "series": {p.series.name: p.series.to_json() for p in self._probes},
         }
 
-    def render_dashboard(self, width: int = 60, height: int = 8) -> str:
-        """Text dashboard: one compact ASCII chart per non-empty series."""
+    def render_dashboard(
+        self, width: int = 60, height: int = 8, latency: Optional[dict] = None
+    ) -> str:
+        """Text dashboard: one compact ASCII chart per non-empty series.
+
+        ``latency`` optionally appends per-stage sojourn quantiles —
+        pass :meth:`repro.obs.trace.Tracer.latency_quantiles` output
+        (``{stage: {samples, p50, p90, p99}}``, nanoseconds).
+        """
         from repro.analysis.reporting import ascii_series
 
         blocks = [
@@ -164,6 +171,19 @@ class TimeSeriesSampler:
                     y_label=series.name,
                 )
             )
+        if latency:
+            name_w = max(len(name) for name in latency)
+            lines = ["stage sojourn latency (ns):"]
+            lines.append(
+                f"  {'stage'.ljust(name_w)} {'samples':>9} {'p50':>12} "
+                f"{'p90':>12} {'p99':>12}"
+            )
+            for name, row in latency.items():
+                lines.append(
+                    f"  {name.ljust(name_w)} {row['samples']:>9} "
+                    f"{row['p50']:>12.0f} {row['p90']:>12.0f} {row['p99']:>12.0f}"
+                )
+            blocks.append("\n".join(lines))
         return "\n\n".join(blocks)
 
 

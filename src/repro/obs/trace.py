@@ -133,6 +133,24 @@ class Tracer:
         """``name -> {total, sum, mean, buckets}`` (values in nanoseconds)."""
         return {name: self._latency[name].read() for name in sorted(self._latency)}
 
+    def latency_quantiles(self) -> Dict[str, dict]:
+        """Deterministic per-stage sojourn quantiles in nanoseconds.
+
+        Interpolated within log2 buckets by
+        :meth:`repro.obs.metrics.Log2Histogram.quantile` — a seeded rerun
+        reproduces every value bit-exactly.
+        """
+        out: Dict[str, dict] = {}
+        for name in sorted(self._latency):
+            hist = self._latency[name]
+            out[name] = {
+                "samples": hist.total,
+                "p50": hist.quantile(0.50),
+                "p90": hist.quantile(0.90),
+                "p99": hist.quantile(0.99),
+            }
+        return out
+
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------

@@ -277,17 +277,25 @@ def run_many_connection_experiment(
     warmup: float = 0.05,
 ) -> ManyConnResult:
     """Run the scale workload and measure over [warmup, warmup+duration]."""
-    from repro.workloads.stream import _server_bytes
+    from repro.obs import runtime as obs_runtime
+    from repro.workloads.stream import _server_bytes, bind_ledger, bind_observation
 
     wl = workload if workload is not None else ManyConnWorkload()
-    sim, machine, clients, driver = build_many_connection_rig(config, opt, wl)
-    driver.start()
+    with obs_runtime.observe(f"{config.name}/many{wl.n_connections}") as obs:
+        sim, machine, clients, driver = build_many_connection_rig(config, opt, wl)
+        bind_observation(obs, sim, machine, [], horizon=warmup + duration)
+        bind_ledger(
+            obs, warmup, {ELEPHANT_PORT: "elephant", RPC_PORT: "rpc"}
+        )
+        driver.start()
 
-    sim.run(until=warmup)
-    bytes0 = _server_bytes(machine)
-    tx0 = driver.transactions
-    sim.run(until=warmup + duration)
-    bytes_rx = _server_bytes(machine) - bytes0
+        sim.run(until=warmup)
+        bytes0 = _server_bytes(machine)
+        tx0 = driver.transactions
+        sim.run(until=warmup + duration)
+        bytes_rx = _server_bytes(machine) - bytes0
+        if obs is not None:
+            obs.meta.update(system=config.name, optimized=opt.receive_aggregation)
 
     slab = getattr(machine, "packet_slab", None)
     return ManyConnResult(

@@ -117,6 +117,31 @@ def bind_observation(obs, sim, machine, senders, horizon: float) -> None:
         sampler.start(horizon=horizon)
 
 
+def bind_ledger(obs, warmup: float, port_classes) -> None:
+    """Register flow classes and the warmup/measure phases on a run's ledger.
+
+    Call before ``sim.run`` so every charge lands in a phase; a no-op when
+    the observation (or its ledger) is off.
+    """
+    if obs is None or obs.ledger is None:
+        return
+    led = obs.ledger
+    led.port_class.update(port_classes)
+    led.set_phases([("warmup", 0.0), ("measure", warmup)])
+
+
+def stamp_ledger_measurement(obs, delta, bytes_rx: int) -> None:
+    """Record the measurement-window profiler counts on the ledger, so the
+    differential profiler can normalize per-category cycles per packet."""
+    if obs is None or obs.ledger is None:
+        return
+    obs.ledger.meta["measure"] = {
+        "network_packets": delta.network_packets,
+        "host_packets": delta.host_packets,
+        "bytes": bytes_rx,
+    }
+
+
 def run_stream_experiment(
     config: SystemConfig,
     opt: OptimizationConfig,
@@ -151,6 +176,7 @@ def _run_stream_observed(
         config, opt, n_connections, impairments=impairments
     )
     bind_observation(obs, sim, machine, senders, horizon=warmup + duration)
+    bind_ledger(obs, warmup, {SERVER_PORT: "stream"})
 
     sim.run(until=warmup)
     profile0 = machine.profiler.snapshot(sim.now)
@@ -166,6 +192,7 @@ def _run_stream_observed(
     busy = machine.cpu.busy_cycles - busy0
     utilization = min(1.0, busy / (duration * machine.cpu.freq_hz))
     n_pkts = max(1, delta.network_packets)
+    stamp_ledger_measurement(obs, delta, bytes_rx)
 
     return ThroughputResult(
         system=config.name,
