@@ -340,6 +340,8 @@ class SimSanitizer:
                 self._audit_driver_conservation(driver)
             for governor in self._machine_governors(machine):
                 self._audit_governor(governor)
+            for repair in getattr(machine, "repairs", ()):
+                self._audit_repair(repair)
             mem = getattr(machine, "mem", None)
             if mem is not None:
                 self._audit_mem(mem)
@@ -422,15 +424,45 @@ class SimSanitizer:
             )
 
     def _audit_governor(self, governor) -> None:
-        """Degradation transitions are consistent: the flag matches the
-        enter/exit counters and the EWMA stays a probability."""
+        """Degradation transitions are consistent: the mode matches the
+        enter/exit counters on both boundaries and the EWMA stays a
+        probability."""
         stats = governor.stats
+        mode = getattr(governor, "mode", 2 if governor.degraded else 0)
+        if mode not in (0, 1, 2):
+            raise InvariantViolation(
+                f"governor {governor.name}: unknown mode {mode!r}"
+            )
         expected = stats.enters - stats.exits
-        if expected not in (0, 1) or bool(expected) != governor.degraded:
+        if (
+            expected not in (0, 1)
+            or bool(expected) != governor.degraded
+            or governor.degraded != (mode == 2)
+        ):
             raise InvariantViolation(
                 f"governor {governor.name}: transition accounting broken — "
                 f"{stats.enters} enters / {stats.exits} exits but "
-                f"degraded={governor.degraded}"
+                f"degraded={governor.degraded} (mode {mode})"
+            )
+        sort_depth = stats.sort_enters - stats.sort_exits
+        if sort_depth not in (0, 1) or bool(sort_depth) != (mode >= 1):
+            raise InvariantViolation(
+                f"governor {governor.name}: sort-boundary accounting broken "
+                f"— {stats.sort_enters} sort enters / {stats.sort_exits} "
+                f"sort exits but mode {mode}"
+            )
+        boundary_crossings = (
+            stats.enters + stats.exits + stats.sort_enters + stats.sort_exits
+        )
+        if not (
+            stats.mode_transitions
+            <= boundary_crossings
+            <= 2 * stats.mode_transitions
+        ):
+            raise InvariantViolation(
+                f"governor {governor.name}: {stats.mode_transitions} mode "
+                f"transitions inconsistent with {boundary_crossings} "
+                "boundary crossings"
             )
         if not (0.0 <= governor.rate <= 1.0):
             raise InvariantViolation(
@@ -441,6 +473,72 @@ class SimSanitizer:
             raise InvariantViolation(
                 f"governor {governor.name}: {stats.disorder_events} disorder "
                 f"events exceed {stats.packets_seen} packets seen"
+            )
+
+    def _audit_repair(self, repair) -> None:
+        """Repair-buffer conservation: frames neither leak nor duplicate,
+        holds stay bounded and sorted, nothing is parked past its deadline.
+
+        Checks, in order (each tamper test in tests/test_sanitizer.py trips
+        exactly one):
+
+        1. per-flow occupancy bound (``len(held) <= depth``);
+        2. held frames sorted by sequence number;
+        3. every held frame is *ahead of* the flow's release point
+           (released sequence order stays monotone);
+        4. no flow is parked past its deadline (unless its release is
+           already pending on the CPU);
+        5. global conservation ``frames_in == frames_out + occupancy``.
+        """
+        from repro.tcp.seqmath import seq_gt, seq_lt
+
+        depth = repair.config.depth
+        now = self.sim.now
+        total_held = 0
+        for key, st in repair.flows.items():
+            held = st.held
+            total_held += len(held)
+            if len(held) > depth:
+                raise InvariantViolation(
+                    f"repair {repair.name}: flow {key} holds {len(held)} "
+                    f"frames, over the configured depth {depth}"
+                )
+            for i in range(1, len(held)):
+                if not seq_lt(held[i - 1][1].tcp.seq, held[i][1].tcp.seq):
+                    raise InvariantViolation(
+                        f"repair {repair.name}: flow {key} hold buffer out "
+                        f"of sequence order at position {i}"
+                    )
+            if st.expected is not None:
+                for _, pkt in held:
+                    if not seq_gt(pkt.tcp.seq, st.expected):
+                        raise InvariantViolation(
+                            f"repair {repair.name}: flow {key} holds seq "
+                            f"{pkt.tcp.seq} at or behind the release point "
+                            f"{st.expected} — release order would regress"
+                        )
+            if (
+                held
+                and not st.release_pending
+                and st.deadline is not None
+                and now > st.deadline + 1e-9
+            ):
+                raise InvariantViolation(
+                    f"repair {repair.name}: flow {key} parked past its "
+                    f"deadline ({st.deadline:.6f} < now {now:.6f}) with no "
+                    "release pending"
+                )
+        stats = repair.stats
+        if total_held != repair.occupancy:
+            raise InvariantViolation(
+                f"repair {repair.name}: occupancy counter {repair.occupancy} "
+                f"disagrees with {total_held} frames actually held"
+            )
+        if stats.frames_in != stats.frames_out + repair.occupancy:
+            raise InvariantViolation(
+                f"repair {repair.name}: conservation broken — "
+                f"{stats.frames_in} frames in != {stats.frames_out} out "
+                f"+ {repair.occupancy} held"
             )
 
     def _audit_heap(self) -> None:

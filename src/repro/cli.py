@@ -154,9 +154,12 @@ def _impairments_from_args(args):
     """Build the ImpairmentConfig the wire flags describe (None if clean)."""
     if not (args.drop or args.reorder or args.dup or args.fault_plan):
         return None
-    from repro.faults.plan import FaultPlan, ImpairmentConfig
+    from repro.faults.plan import ImpairmentConfig, load_plan_file
 
-    plan = FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    # load_plan_file raises PlanFileError (a ValueError) with a message
+    # naming the file and offending entry; _cmd_run prints it and exits 2,
+    # same as any other bad-argument path.
+    plan = load_plan_file(args.fault_plan) if args.fault_plan else None
     return ImpairmentConfig(
         drop=args.drop, reorder=args.reorder, dup=args.dup,
         seed=args.impair_seed, plan=plan,

@@ -254,15 +254,28 @@ class AggregationEngine:
         if led is not None:
             led.push_stage("aggr")
             prev_flow = led.set_flow(UNATTRIBUTED)
+        fed_upstream = governor.fed_upstream
         while queue:
             pkt = popleft()
             stats.packets_in += 1
             if led is not None:
                 led.set_flow(led.flow_for_port(pkt.tcp.dst_port))
             consume(mac_cost, aggr_cat)
+            if fed_upstream:
+                # A repair stage upstream owns the disorder detector (it
+                # sees arrival order *before* sorting); we only read the
+                # mode.  Observing here too would average the post-sort
+                # (clean) signal into the rate and make the modes flap.
+                degraded = governor.degraded
+                if degraded and self.table:
+                    # Nothing may stay parked while we stop matching.
+                    while self.table:
+                        _, partial = self.table.popitem(last=False)
+                        stats.flush_degrade += 1
+                        self._finalize(partial)
             # Disorder detector: out-of-sequence arrival on a known flow,
             # or a frame that failed checksum verification.
-            if pkt.payload_len > 0:
+            elif pkt.payload_len > 0:
                 key = pkt.flow_key
                 expected = next_seq.get(key)
                 disorder = (

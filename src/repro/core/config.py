@@ -3,6 +3,37 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Knobs of the sort-and-coalesce reorder-repair stage.
+
+    A :class:`~repro.faults.repair.ReorderRepairBuffer` parks out-of-order
+    frames between ring drain and the aggregation queue, releasing them in
+    sequence order — at most ``depth`` frames per flow, each held at most
+    ``hold_window_s`` of simulated time (the deadline declares the missing
+    frame lost and releases the run so TCP can recover normally).
+
+    Frozen + plain data so sweep points carrying one pickle cleanly and
+    parallel rows stay bit-identical to serial ones.
+    """
+
+    #: Maximum out-of-order frames parked per flow; overflow releases the
+    #: whole run in sequence order (bounded memory, bounded added latency).
+    depth: int = 32
+    #: Maximum sim-time any frame may be parked before the gap in front of
+    #: it is declared lost and the run is released in sequence order.
+    hold_window_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.depth < 1:
+            raise ValueError(f"repair depth must be >= 1 (got {self.depth})")
+        if self.hold_window_s <= 0:
+            raise ValueError(
+                f"repair hold window must be > 0 (got {self.hold_window_s})"
+            )
 
 
 @dataclass
@@ -34,6 +65,13 @@ class OptimizationConfig:
     #: beside aggregation and ACK offload; off by default — copy mode stays
     #: byte-identical.
     zero_copy: bool = False
+    #: Sort-and-coalesce reorder repair: stage a bounded
+    #: :class:`~repro.faults.repair.ReorderRepairBuffer` between ring drain
+    #: and the aggregation queue, and upgrade the governor to the
+    #: three-mode coalesce → sort-and-coalesce → disable policy.  ``None``
+    #: (the default) builds no repair stage at all — the clean path stays
+    #: bit-identical.  Requires ``receive_aggregation``.
+    repair: Optional[RepairConfig] = None
 
     @classmethod
     def baseline(cls) -> "OptimizationConfig":
@@ -51,9 +89,24 @@ class OptimizationConfig:
         )
 
     @classmethod
-    def resilient(cls, aggregation_limit: int = 20) -> "OptimizationConfig":
-        """All optimizations plus governor-driven graceful degradation."""
-        return cls.optimized(aggregation_limit=aggregation_limit, auto_degrade=True)
+    def resilient(
+        cls,
+        aggregation_limit: int = 20,
+        repair: "Optional[RepairConfig] | bool" = None,
+    ) -> "OptimizationConfig":
+        """All optimizations plus governor-driven graceful degradation.
+
+        ``repair`` selects the sort-and-coalesce tier: ``True`` (or a
+        :class:`RepairConfig`) stages the bounded reorder-repair buffer in
+        front of aggregation, turning the governor into the three-mode
+        coalesce → sort-and-coalesce → disable policy.  ``None`` (the
+        default) keeps the original two-mode governor, bit-identical to
+        the pre-repair build.
+        """
+        opt = cls.optimized(aggregation_limit=aggregation_limit, auto_degrade=True)
+        if repair:
+            opt.repair = RepairConfig() if repair is True else repair
+        return opt
 
     @classmethod
     def zcrx(cls, aggregation_limit: int = 20) -> "OptimizationConfig":

@@ -32,6 +32,12 @@ class Category:
     #: shared connection state plus IPI/remote-wakeup cycles.  Not a paper
     #: axis — the paper's SMP runs fold this into the blanket lock factors.
     XCPU = "xcpu"
+    #: Sort-and-coalesce reorder repair (the Wu et al. extension): probe,
+    #: sorted-insert, and release work done by the
+    #: :class:`~repro.faults.repair.ReorderRepairBuffer` between ring drain
+    #: and aggregation.  Not a paper axis — zero on every pinned figure
+    #: (the stage only exists when ``OptimizationConfig.repair`` is set).
+    REPAIR = "repair"
 
     #: Axis order for the native-Linux breakdown figures (3, 4, 8, 9).
     NATIVE_ORDER = (PER_BYTE, RX, TX, BUFFER, NON_PROTO, DRIVER, MISC, AGGR)

@@ -106,6 +106,22 @@ class CostModel:
     #: (no header rewrite or checksum needed).
     aggr_deliver_single: float = 50.0
 
+    # ---------------- reorder repair (category: repair) ----------------
+    #: Sort-and-coalesce stage (Wu et al.; ``OptimizationConfig.repair``).
+    #: Per data frame probed against the flow's expected sequence number
+    #: while the stage is sorting: flow lookup + one masked compare.
+    repair_probe_per_packet: float = 40.0
+    #: Sorted insertion of one out-of-order frame into the per-flow hold
+    #: buffer (position scan + list insert; the buffer is <= ``depth``
+    #: entries, cache-resident).
+    repair_insert_per_packet: float = 90.0
+    #: Releasing one parked frame back into the receive path (unlink +
+    #: hand-off to the aggregation queue).
+    repair_release_per_packet: float = 30.0
+    #: Deadline-timer fire servicing one flow's expired hold (timer
+    #: bookkeeping; the released frames pay the per-frame release cost).
+    repair_timer: float = 120.0
+
     # ---------------- per-byte (category: per-byte) ----------------
     #: Per-fragment setup during copy_to_user of an aggregated skb (iovec walk).
     copy_setup_per_fragment: float = 120.0

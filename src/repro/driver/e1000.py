@@ -69,6 +69,7 @@ class E1000Driver:
         tso: bool = False,
         mss: int = 1448,
         queue_index: int = 0,
+        repair=None,
         name: str = "e1000-0",
     ):
         self.cpu = cpu
@@ -77,6 +78,11 @@ class E1000Driver:
         self.kernel = kernel
         self.pool = pool
         self.aggregation = aggregation and nic.checksum_offload
+        #: Optional :class:`~repro.faults.repair.ReorderRepairBuffer` staged
+        #: between ring drain and the aggregation queue.  ``None`` (the
+        #: default) keeps the drain path byte-identical to the pre-repair
+        #: build; only meaningful with ``aggregation``.
+        self.repair = repair if self.aggregation else None
         self.tso = tso
         self.mss = mss
         self.name = name
@@ -154,6 +160,11 @@ class E1000Driver:
             pkts = kept
         if self.aggregation:
             # §3.5: raw hand-off — no sk_buff, no MAC processing here.
+            repair = self.repair
+            if repair is not None:
+                # Sort-and-coalesce: out-of-order frames may be parked and
+                # released later (in sequence order) by the repair stage.
+                pkts = repair.process(pkts, self.cpu.sim.now)
             self.kernel.aggregator.enqueue(pkts)
             self.kernel.softirq_aggregated()
         else:
@@ -260,8 +271,13 @@ class E1000Driver:
         stale = ring.drain()
         self.stats.rx_dropped_reset += len(stale)
         if self.aggregation:
-            # Nothing may stay parked across a reset: deliver every partial
-            # aggregate through the normal (work-conserving) flush path.
+            # Nothing may stay parked across a reset: release every held
+            # repair frame and deliver every partial aggregate through the
+            # normal (work-conserving) flush path.
+            if self.repair is not None:
+                flushed = self.repair.flush()
+                if flushed:
+                    self.kernel.aggregator.enqueue(flushed)
             self.kernel.softirq_aggregated()
         nic.hung = False
         queue._irq_pending = False

@@ -1,4 +1,4 @@
-"""Deterministic fault injection and graceful degradation.
+"""Deterministic fault injection, graceful degradation, and reorder repair.
 
 The paper's §3.2 equivalence claim ("congestion control and ACK generation
 behave as if every network packet had been seen") is only credible if the
@@ -8,30 +8,57 @@ wire.  This package provides the machinery to prove that:
 * :mod:`repro.faults.plan` — :class:`FaultSpec` / :class:`FaultPlan`:
   declarative, JSON-serializable schedules of fault windows at precise
   simulated times, fully seeded and picklable (parallel sweeps replay
-  bit-identically).
+  bit-identically).  ``python -m repro.faults validate plan.json`` checks
+  a plan file without building a rig.
 * :mod:`repro.faults.injector` — :class:`FaultInjector`: arms a plan
   against a built receiver rig, mutating links, rings, buffer pools, and
   NICs at the scheduled instants, and arming the driver watchdogs that
   recover from NIC hangs.
 * :mod:`repro.faults.degradation` — :class:`CoalesceGovernor`: the
-  hysteresis controller that lets the aggregation engine and hardware LRO
-  auto-disable coalescing under a reorder/corruption storm and re-enable
-  after a quiet period.
+  hysteresis controller that governs coalescing under a reorder/corruption
+  storm — two-mode (coalesce ↔ disable) by default, three-mode
+  (coalesce → sort-and-coalesce → disable) when a repair stage is wired.
+* :mod:`repro.faults.repair` — :class:`ReorderRepairBuffer`: the bounded,
+  per-flow sort stage between ring drain and aggregation that keeps
+  coalescing through a reorder storm (Wu et al.).
 
 See ``experiments/extension_resilience.py`` for the end-to-end sweep and
-DESIGN.md §9 for the fault model.
+DESIGN.md §9/§12 for the fault and repair models.
 """
 
-from repro.faults.degradation import CoalesceGovernor, GovernorStats
+from repro.faults.degradation import (
+    MODE_COALESCE,
+    MODE_DISABLE,
+    MODE_SORT,
+    CoalesceGovernor,
+    GovernorStats,
+)
 from repro.faults.injector import FaultInjector
-from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec, ImpairmentConfig
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    ImpairmentConfig,
+    PlanFileError,
+    load_plan_file,
+    validate_plan,
+)
+from repro.faults.repair import ReorderRepairBuffer, RepairStats
 
 __all__ = [
     "CoalesceGovernor",
     "GovernorStats",
+    "MODE_COALESCE",
+    "MODE_SORT",
+    "MODE_DISABLE",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "FAULT_KINDS",
     "ImpairmentConfig",
+    "PlanFileError",
+    "ReorderRepairBuffer",
+    "RepairStats",
+    "load_plan_file",
+    "validate_plan",
 ]

@@ -1,0 +1,61 @@
+"""``python -m repro.faults`` — fault-plan tooling.
+
+``validate PLAN.json`` checks a fault-plan file without building a rig:
+structural problems (unreadable file, bad JSON, malformed or invalid fault
+entries) exit 2 with one readable error naming the offending entry;
+semantic problems (:func:`~repro.faults.plan.validate_plan`: empty plans,
+bad targets, no-op windows, ambiguously overlapping same-kind windows)
+exit 1 listing every problem; a clean plan exits 0 with a one-line
+summary.  The chaos-quick CI job runs this over the checked-in sample
+plan (and asserts the non-zero exit on a broken one).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.faults.plan import PlanFileError, load_plan_file, validate_plan
+
+
+def _cmd_validate(path: str) -> int:
+    try:
+        plan = load_plan_file(path)
+    except PlanFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)  # simlint: allow(hot-path-io)
+        return 2
+    problems = validate_plan(plan)
+    if problems:
+        for problem in problems:
+            print(f"problem: {problem}", file=sys.stderr)  # simlint: allow(hot-path-io)
+        print(  # simlint: allow(hot-path-io)
+            f"{path}: plan {plan.name!r} has {len(problems)} problem(s)",
+            file=sys.stderr,
+        )
+        return 1
+    kinds = ", ".join(plan.kinds())
+    print(  # simlint: allow(hot-path-io)
+        f"{path}: OK — plan {plan.name!r}: {len(plan.specs)} fault "
+        f"window(s) ({kinds}), seed {plan.seed}, horizon {plan.horizon:g}s"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Fault-plan tooling (see repro.faults.plan).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_validate = sub.add_parser(
+        "validate",
+        help="check a fault-plan JSON file (exit 0 clean / 1 problems / 2 unparseable)",
+    )
+    p_validate.add_argument("plan", help="path to the fault-plan JSON file")
+    args = parser.parse_args(argv)
+    return _cmd_validate(args.plan)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

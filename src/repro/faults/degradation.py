@@ -5,23 +5,47 @@ arrival: under a sustained reorder or corruption storm every would-be merge
 mismatches, so the engine pays match + table + header-rewrite cycles *per
 packet* and still delivers singles — strictly worse than not coalescing.
 "Sorting Reordered Packets with Interrupt Coalescing" (Wu et al.) documents
-exactly this pathology on real systems.
+exactly this pathology on real systems — and also the stronger fix: use the
+coalescing window to *sort* the frames back into sequence, keeping the
+merge rate up while the network misbehaves.
 
-:class:`CoalesceGovernor` is the hysteresis controller both engines consult
+:class:`CoalesceGovernor` is the hysteresis controller the engines consult
 when wired (``governor=`` argument; ``None`` — the default — keeps the hot
 path byte-identical to the ungoverned build):
 
 * an EWMA of the per-packet disorder indicator (out-of-sequence arrival or
   failed checksum) estimates the current disorder rate;
 * when the rate crosses ``enter_threshold`` (after ``min_packets`` warmup)
-  the governor *degrades*: coalescing is bypassed and packets are delivered
-  as cheap singles;
-* it *restores* only when the rate has fallen below ``exit_threshold`` AND
-  ``quiet_period_s`` has elapsed since the last observed disorder — the
-  hysteresis gap plus dwell prevents flapping at the storm's edges.
+  the governor leaves plain coalescing; it returns only when the rate has
+  fallen below ``exit_threshold`` AND ``quiet_period_s`` has elapsed since
+  the last observed disorder — the hysteresis gap plus dwell prevents
+  flapping at the storm's edges.
+
+The governor has two *policies*, selected by how it is wired:
+
+* **Two-mode** (the default, bit-identical to the pre-repair build):
+  coalesce ↔ disable.  Crossing ``enter_threshold`` bypasses coalescing
+  entirely; packets are delivered as cheap singles until the wire quiets.
+* **Three-mode** (:meth:`enable_sort`, wired when a
+  :class:`~repro.faults.repair.ReorderRepairBuffer` is staged in front of
+  aggregation): coalesce → sort-and-coalesce → disable.  Crossing
+  ``enter_threshold`` first enables the *repair* stage — frames are sorted
+  back into sequence so aggregation keeps coalescing; only if the rate
+  keeps climbing past ``disable_threshold`` (the storm is too violent even
+  to sort profitably) does the governor fall back to single delivery.
+  Falling back below ``disable_exit_threshold`` (with a dwell) returns to
+  sorting, and below ``exit_threshold`` (with a quiet period) to plain
+  coalescing — hysteresis between every adjacent pair of modes.
+
+In three-mode policy the governor is *fed upstream*: the repair stage owns
+the disorder detector (it sees arrival order before sorting), and the
+downstream aggregation/LRO engines only read the mode.  Feeding the
+governor from both sides would average the post-sort (clean) signal into
+the rate and make the modes flap.
 
 All transitions are counted (:class:`GovernorStats`) and surfaced as obs
-span events and metrics gauges; the sanitizer audits enter/exit consistency.
+span events and metrics gauges; the sanitizer audits mode/counter
+consistency.
 """
 
 from __future__ import annotations
@@ -32,23 +56,40 @@ from typing import Optional
 from repro.obs.runtime import active_tracer
 from repro.obs.trace import Stage
 
+#: Governor modes, ordered by severity.  ``MODE_SORT`` is reachable only
+#: under the three-mode policy (:meth:`CoalesceGovernor.enable_sort`).
+MODE_COALESCE = 0
+MODE_SORT = 1
+MODE_DISABLE = 2
+
 
 @dataclass
 class GovernorStats:
     packets_seen: int = 0
     disorder_events: int = 0
+    #: Transitions into/out of *disabled* coalescing (mode 2).  Under the
+    #: two-mode policy these are the only transitions there are.
     enters: int = 0
     exits: int = 0
     packets_degraded: int = 0
+    #: Transitions across the coalesce boundary (mode 0 ↔ mode >= 1).
+    #: Two-mode degrades cross both boundaries at once, so they increment
+    #: ``enters`` *and* ``sort_enters`` (likewise exits).
+    sort_enters: int = 0
+    sort_exits: int = 0
+    #: Total mode changes of any kind (hysteresis quality metric).
+    mode_transitions: int = 0
 
 
 class CoalesceGovernor:
-    """Hysteresis controller: should coalescing be bypassed right now?"""
+    """Hysteresis controller: how should coalescing behave right now?"""
 
     __slots__ = (
-        "enter_threshold", "exit_threshold", "alpha", "min_packets",
-        "quiet_period_s", "name", "stats", "degraded", "rate",
-        "_last_disorder_at", "_tr",
+        "enter_threshold", "exit_threshold", "disable_threshold",
+        "disable_exit_threshold", "alpha", "min_packets",
+        "quiet_period_s", "name", "stats", "degraded", "mode",
+        "sort_capable", "fed_upstream", "rate",
+        "_last_disorder_at", "_transition_at", "_tr",
     )
 
     def __init__(
@@ -58,25 +99,66 @@ class CoalesceGovernor:
         alpha: float = 0.05,
         min_packets: int = 64,
         quiet_period_s: float = 2e-3,
+        disable_threshold: float = 0.9,
+        disable_exit_threshold: float = 0.75,
         name: str = "governor",
     ) -> None:
         if not (0.0 < exit_threshold < enter_threshold <= 1.0):
             raise ValueError(
                 "need 0 < exit_threshold < enter_threshold <= 1 for hysteresis"
             )
+        if not (
+            enter_threshold
+            <= disable_exit_threshold
+            < disable_threshold
+            <= 1.0
+        ):
+            raise ValueError(
+                "need enter_threshold <= disable_exit_threshold"
+                " < disable_threshold <= 1 for sort-tier hysteresis"
+            )
         if not (0.0 < alpha <= 1.0):
             raise ValueError("EWMA alpha must be in (0, 1]")
         self.enter_threshold = enter_threshold
         self.exit_threshold = exit_threshold
+        self.disable_threshold = disable_threshold
+        self.disable_exit_threshold = disable_exit_threshold
         self.alpha = alpha
         self.min_packets = min_packets
         self.quiet_period_s = quiet_period_s
         self.name = name
         self.stats = GovernorStats()
         self.degraded = False
+        self.mode = MODE_COALESCE
+        #: True once a repair buffer registered via :meth:`enable_sort`;
+        #: switches :meth:`observe` to the three-mode policy.
+        self.sort_capable = False
+        #: True when the disorder signal comes from *upstream* of sorting
+        #: (the repair stage).  Downstream engines must then only read the
+        #: mode, never observe — see the module docstring.
+        self.fed_upstream = False
         self.rate = 0.0
         self._last_disorder_at: Optional[float] = None
+        self._transition_at = 0.0
         self._tr = active_tracer()
+
+    # ------------------------------------------------------------------
+    def enable_sort(self) -> None:
+        """Switch to the three-mode policy (a repair stage is attached)."""
+        self.sort_capable = True
+        self.fed_upstream = True
+
+    @property
+    def lro_bypass(self) -> bool:
+        """Should hardware LRO pass frames through unmerged?
+
+        True in every non-coalescing mode: while sorting, the repair stage
+        needs the individual wire frames (software aggregation re-coalesces
+        them after the sort); while disabled, merging is off by definition.
+        """
+        if self.sort_capable:
+            return self.mode >= MODE_SORT
+        return self.degraded
 
     # ------------------------------------------------------------------
     def observe(self, disorder: bool, now: float) -> bool:
@@ -92,19 +174,71 @@ class CoalesceGovernor:
         else:
             self.rate -= alpha * self.rate
 
-        if self.degraded:
-            if self.rate < self.exit_threshold and self._quiet_for(now):
-                self.degraded = False
-                stats.exits += 1
+        if not self.sort_capable:
+            # Two-mode policy: decisions identical to the pre-repair build.
+            if self.degraded:
+                if self.rate < self.exit_threshold and self._quiet_for(now):
+                    self.degraded = False
+                    self.mode = MODE_COALESCE
+                    stats.exits += 1
+                    stats.sort_exits += 1
+                    stats.mode_transitions += 1
+                    tr = self._tr
+                    if tr is not None:
+                        tr.event(Stage.AGGR_RESTORE, now, args={"rate": round(self.rate, 4)})
+            elif self.rate > self.enter_threshold and stats.packets_seen >= self.min_packets:
+                self.degraded = True
+                self.mode = MODE_DISABLE
+                stats.enters += 1
+                stats.sort_enters += 1
+                stats.mode_transitions += 1
+                tr = self._tr
+                if tr is not None:
+                    tr.event(Stage.AGGR_DEGRADE, now, args={"rate": round(self.rate, 4)})
+            return self.degraded
+
+        # Three-mode policy: coalesce -> sort-and-coalesce -> disable.
+        mode = self.mode
+        if mode == MODE_COALESCE:
+            if self.rate > self.enter_threshold and stats.packets_seen >= self.min_packets:
+                self.mode = MODE_SORT
+                stats.sort_enters += 1
+                stats.mode_transitions += 1
+                self._transition_at = now
+                tr = self._tr
+                if tr is not None:
+                    tr.event(Stage.AGGR_SORT, now, args={"rate": round(self.rate, 4)})
+        elif mode == MODE_SORT:
+            if self.rate > self.disable_threshold:
+                self.mode = MODE_DISABLE
+                self.degraded = True
+                stats.enters += 1
+                stats.mode_transitions += 1
+                self._transition_at = now
+                tr = self._tr
+                if tr is not None:
+                    tr.event(Stage.AGGR_DEGRADE, now, args={"rate": round(self.rate, 4)})
+            elif self.rate < self.exit_threshold and self._quiet_for(now):
+                self.mode = MODE_COALESCE
+                stats.sort_exits += 1
+                stats.mode_transitions += 1
+                self._transition_at = now
                 tr = self._tr
                 if tr is not None:
                     tr.event(Stage.AGGR_RESTORE, now, args={"rate": round(self.rate, 4)})
-        elif self.rate > self.enter_threshold and stats.packets_seen >= self.min_packets:
-            self.degraded = True
-            stats.enters += 1
-            tr = self._tr
-            if tr is not None:
-                tr.event(Stage.AGGR_DEGRADE, now, args={"rate": round(self.rate, 4)})
+        else:  # MODE_DISABLE
+            if (
+                self.rate < self.disable_exit_threshold
+                and (now - self._transition_at) >= self.quiet_period_s
+            ):
+                self.mode = MODE_SORT
+                self.degraded = False
+                stats.exits += 1
+                stats.mode_transitions += 1
+                self._transition_at = now
+                tr = self._tr
+                if tr is not None:
+                    tr.event(Stage.AGGR_SORT, now, args={"rate": round(self.rate, 4)})
         return self.degraded
 
     def _quiet_for(self, now: float) -> bool:
@@ -112,8 +246,9 @@ class CoalesceGovernor:
         return last is None or (now - last) >= self.quiet_period_s
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "degraded" if self.degraded else "coalescing"
+        state = ("coalescing", "sorting", "degraded")[self.mode]
         return (
             f"CoalesceGovernor({self.name!r}, {state}, rate={self.rate:.3f}, "
-            f"enters={self.stats.enters}, exits={self.stats.exits})"
+            f"enters={self.stats.enters}, exits={self.stats.exits}, "
+            f"transitions={self.stats.mode_transitions})"
         )

@@ -147,6 +147,121 @@ class FaultPlan:
             return cls.from_json(json.load(fh))
 
 
+class PlanFileError(ValueError):
+    """A fault-plan file failed to load: the message names the file, the
+    offending fault entry, and what is wrong — no traceback needed."""
+
+
+def load_plan_file(path: str) -> FaultPlan:
+    """:meth:`FaultPlan.load` with every failure rewritten for humans.
+
+    Raises :class:`PlanFileError` (a :class:`ValueError`) on unreadable
+    files, malformed JSON, wrong shapes, and per-spec validation failures,
+    always naming the fault entry's index.  The CLI and ``python -m
+    repro.faults validate`` both route through here.
+    """
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise PlanFileError(
+            f"cannot read fault plan {path!r}: {exc.strerror or exc}"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise PlanFileError(f"fault plan {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise PlanFileError(
+            f"fault plan {path!r}: top level must be a JSON object, "
+            f"got {type(doc).__name__}"
+        )
+    faults = doc.get("faults", [])
+    if not isinstance(faults, list):
+        raise PlanFileError(
+            f"fault plan {path!r}: 'faults' must be a list, "
+            f"got {type(faults).__name__}"
+        )
+    specs: List[FaultSpec] = []
+    for i, entry in enumerate(faults):
+        if not isinstance(entry, dict):
+            raise PlanFileError(
+                f"fault plan {path!r}: fault #{i} must be a JSON object, "
+                f"got {type(entry).__name__}"
+            )
+        missing = [k for k in ("kind", "start", "duration") if k not in entry]
+        if missing:
+            raise PlanFileError(
+                f"fault plan {path!r}: fault #{i} is missing "
+                f"{', '.join(missing)}"
+            )
+        try:
+            specs.extend(FaultPlan.from_json({"faults": [entry]}).specs)
+        except (TypeError, ValueError) as exc:
+            raise PlanFileError(
+                f"fault plan {path!r}: fault #{i}: {exc}"
+            ) from exc
+    try:
+        return FaultPlan(
+            specs=tuple(specs),
+            seed=int(doc.get("seed", 20080622)),
+            name=str(doc.get("name", "plan")),
+        )
+    except (TypeError, ValueError) as exc:
+        raise PlanFileError(f"fault plan {path!r}: {exc}") from exc
+
+
+#: Kinds whose window is a no-op at intensity 0 unless params override it.
+_INTENSITY_DRIVEN = ("loss_burst", "corrupt", "reorder_storm", "dup_storm", "ring_storm")
+
+
+def validate_plan(plan: FaultPlan) -> List[str]:
+    """Semantic lint over a structurally-valid plan.
+
+    Spec-level validation (unknown kinds, negative windows, intensity
+    range) already raised when the plan was built; this checks the
+    properties only the whole plan can show.  Returns human-readable
+    problem strings — empty means clean.
+    """
+    problems: List[str] = []
+    if not plan.specs:
+        problems.append("plan has no fault windows — nothing would be injected")
+    if plan.seed < 0:
+        problems.append(f"seed must be non-negative (got {plan.seed})")
+    for i, spec in enumerate(plan.specs):
+        if spec.target != "*" and not spec.target.isdigit():
+            problems.append(
+                f"fault #{i} ({spec.kind}): target must be '*' or a "
+                f"non-negative NIC index (got {spec.target!r})"
+            )
+        if (
+            spec.kind in _INTENSITY_DRIVEN
+            and spec.intensity == 0.0
+            and not spec.params
+        ):
+            problems.append(
+                f"fault #{i} ({spec.kind}): intensity 0 with no params — "
+                "the window would inject nothing"
+            )
+    # Two same-kind windows hitting an overlapping target set in
+    # overlapping time: the injector saves pre-fault state at each window
+    # start and restores it at each end, so the second restore would
+    # resurrect mid-storm state.
+    for i, a in enumerate(plan.specs):
+        for j in range(i + 1, len(plan.specs)):
+            b = plan.specs[j]
+            if a.kind != b.kind:
+                continue
+            if a.target != b.target and "*" not in (a.target, b.target):
+                continue
+            if a.start < b.end and b.start < a.end:
+                problems.append(
+                    f"fault #{i} and fault #{j}: overlapping {a.kind!r} "
+                    f"windows on target {a.target!r}/{b.target!r} "
+                    f"([{a.start:g}, {a.end:g}) vs [{b.start:g}, {b.end:g})) "
+                    "— save/restore order would be ambiguous"
+                )
+    return problems
+
+
 @dataclass(frozen=True)
 class ImpairmentConfig:
     """Everything the CLI/sweep layers plumb into a stream rig.

@@ -21,6 +21,7 @@ from repro.buffers.slab import PacketSlab
 from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
 from repro.faults.degradation import CoalesceGovernor
+from repro.faults.repair import ReorderRepairBuffer
 from repro.driver.e1000 import E1000Driver
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
@@ -32,6 +33,19 @@ from repro.nic.lro import LroEngine
 from repro.nic.nic import Nic
 from repro.sim.engine import Simulator
 from repro.sim.link import Link
+
+
+def _repair_sink(kernel):
+    """Deadline-release path for a repair buffer: the same enqueue + softirq
+    kick the driver's ISR performs (works for the UP kernel and for the mq
+    per-queue :class:`~repro.mq.kernel.SoftirqPort` alike)."""
+
+    def sink(pkts):
+        if pkts:
+            kernel.aggregator.enqueue(pkts)
+            kernel.softirq_aggregated()
+
+    return sink
 
 
 class ReceiverMachine:
@@ -75,9 +89,14 @@ class ReceiverMachine:
             self.kernel.mem = self.mem
             self.kernel.topology = self.topology
         #: Graceful-degradation governor (None unless opt.auto_degrade and
-        #: some coalescing engine exists to govern).
+        #: some coalescing engine exists to govern).  A configured repair
+        #: stage needs one too — it upgrades the policy to three-mode.
         self.governor: Optional[CoalesceGovernor] = None
-        if opt.auto_degrade and (opt.receive_aggregation or config.nic_lro):
+        if opt.repair is not None and not opt.receive_aggregation:
+            raise ValueError("repair requires receive_aggregation")
+        if (opt.auto_degrade or opt.repair is not None) and (
+            opt.receive_aggregation or config.nic_lro
+        ):
             self.governor = CoalesceGovernor(name=f"{name}-governor")
         if opt.receive_aggregation:
             self.kernel.aggregator = AggregationEngine(
@@ -92,6 +111,8 @@ class ReceiverMachine:
 
         self.nics: List[Nic] = []
         self.drivers: List[E1000Driver] = []
+        #: Reorder-repair buffers, one per driver (empty unless opt.repair).
+        self.repairs: List[ReorderRepairBuffer] = []
         self.clients: List[ClientHost] = []
         #: Inbound (client -> NIC) links, one per client, in attach order —
         #: the fault injector and the sanitizer's link-conservation audit
@@ -130,6 +151,16 @@ class ReceiverMachine:
             for queue in nic.queues:
                 queue.mem = self.mem
                 queue.mem_node = self.topology.node_of_queue(queue.index)
+        repair = None
+        if self.opt.repair is not None and self.opt.receive_aggregation:
+            repair = ReorderRepairBuffer(
+                cpu=self.cpu,
+                config=self.opt.repair,
+                governor=self.governor,
+                sink=_repair_sink(self.kernel),
+                name=f"{self.name}-repair{index}",
+            )
+            self.repairs.append(repair)
         driver = E1000Driver(
             cpu=self.cpu,
             nic=nic,
@@ -138,6 +169,7 @@ class ReceiverMachine:
             aggregation=self.opt.receive_aggregation,
             tso=cfg.tso,
             mss=cfg.mss,
+            repair=repair,
             name=f"{self.name}-e1000-{index}",
         )
         inbound = Link(

@@ -95,10 +95,15 @@ class SoftirqPort:
     and owns that queue's (per-CPU, lock-free — §3.5) aggregation engine.
     """
 
-    def __init__(self, kernel: "MqKernel", cpu_index: int, aggregator=None):
+    def __init__(self, kernel: "MqKernel", cpu_index: int, aggregator=None, repair=None):
         self.kernel = kernel
         self.cpu_index = cpu_index
         self.aggregator = aggregator
+        #: This queue's :class:`~repro.faults.repair.ReorderRepairBuffer`
+        #: (None unless ``opt.repair``).  The driver runs it on the ring
+        #: drain; the port holds the reference so ownership/racecheck and
+        #: the observability layer can find it per queue.
+        self.repair = repair
 
     def softirq_baseline(self, skbs: List[SkBuff]) -> None:
         prev = self.kernel.enter_cpu(self.cpu_index)

@@ -26,6 +26,8 @@ from repro.core.aggregation import AggregationEngine
 from repro.cpu.cpu import Cpu
 from repro.driver.e1000 import E1000Driver
 from repro.faults.degradation import CoalesceGovernor
+from repro.faults.repair import ReorderRepairBuffer
+from repro.host.machine import _repair_sink
 from repro.host.client import ClientHost
 from repro.host.configs import OptimizationConfig, SystemConfig
 from repro.mem.hierarchy import MemoryHierarchy
@@ -123,6 +125,12 @@ class MqReceiverMachine:
         #: Per-engine degradation governors (one per per-CPU aggregation
         #: engine — each receive path degrades independently, lock-free).
         self.governors: List[CoalesceGovernor] = []
+        #: Per-queue reorder-repair buffers (empty unless ``opt.repair``) —
+        #: each lives entirely on its queue's CPU, lock-free like the
+        #: aggregation queue it feeds.
+        self.repairs: List[ReorderRepairBuffer] = []
+        if opt.repair is not None and not opt.receive_aggregation:
+            raise ValueError("repair requires receive_aggregation")
 
     # ------------------------------------------------------------------
     def add_client(
@@ -167,9 +175,10 @@ class MqReceiverMachine:
                 else self.pool
             )
             aggregator = None
+            repair = None
             if self.opt.receive_aggregation:
                 governor = None
-                if self.opt.auto_degrade:
+                if self.opt.auto_degrade or self.opt.repair is not None:
                     governor = CoalesceGovernor(name=f"{self.name}-governor{index}.{q}")
                     self.governors.append(governor)
                 # §3.5's per-CPU aggregation queue, one per receive path.
@@ -184,6 +193,18 @@ class MqReceiverMachine:
                 )
                 self.kernel.aggregators.append(aggregator)
             port = SoftirqPort(self.kernel, q, aggregator=aggregator)
+            if self.opt.repair is not None and self.opt.receive_aggregation:
+                # Per-queue repair stage: its governor, aggregation queue,
+                # and CPU are all this receive path's own.
+                repair = ReorderRepairBuffer(
+                    cpu=self.cpus[q],
+                    config=self.opt.repair,
+                    governor=governor,
+                    sink=_repair_sink(port),
+                    name=f"{self.name}-repair{index}.{q}",
+                )
+                port.repair = repair
+                self.repairs.append(repair)
             driver = E1000Driver(
                 cpu=self.cpus[q],
                 nic=nic,
@@ -193,6 +214,7 @@ class MqReceiverMachine:
                 tso=cfg.tso,
                 mss=cfg.mss,
                 queue_index=q,
+                repair=repair,
                 name=f"{self.name}-e1000-{index}.{q}",
             )
             nic_drivers.append(driver)
@@ -236,6 +258,9 @@ class MqReceiverMachine:
         for aggregator in self.kernel.aggregators:
             owner = next(i for i, c in enumerate(self.cpus) if c is aggregator.cpu)
             table.append((aggregator.name, owner))
+        for repair in self.repairs:
+            owner = next(i for i, c in enumerate(self.cpus) if c is repair.cpu)
+            table.append((repair.name, owner))
         return table
 
     def listen(self, port: int, on_accept=None) -> None:

@@ -87,21 +87,35 @@ class LroEngine:
     def accept(self, pkt: Packet) -> List[Packet]:
         governor = self.governor
         if governor is not None and pkt.payload_len > 0:
-            key = pkt.flow_key
-            session = self.table.get(key)
-            disorder = not pkt.csum_verified or (
-                session is not None and pkt.tcp.seq != session.next_seq
-            )
-            if governor.observe(disorder, pkt.rx_time):
-                # Degraded: coalescing is off — close this flow's open
-                # session (ordering) and pass the frame straight through.
-                self.passthrough_degraded += 1
-                out = []
-                if session is not None:
-                    del self.table[key]
-                    out.append(self._close(session))
-                out.append(pkt)
-                return out
+            if governor.fed_upstream:
+                # A repair stage downstream owns the disorder detector; we
+                # only read the mode.  While it sorts, hardware merging is
+                # off — the sort needs the individual wire frames, and the
+                # software aggregation engine re-coalesces them after.
+                if governor.lro_bypass:
+                    self.passthrough_degraded += 1
+                    out = []
+                    session = self.table.pop(pkt.flow_key, None)
+                    if session is not None:
+                        out.append(self._close(session))
+                    out.append(pkt)
+                    return out
+            else:
+                key = pkt.flow_key
+                session = self.table.get(key)
+                disorder = not pkt.csum_verified or (
+                    session is not None and pkt.tcp.seq != session.next_seq
+                )
+                if governor.observe(disorder, pkt.rx_time):
+                    # Degraded: coalescing is off — close this flow's open
+                    # session (ordering) and pass the frame straight through.
+                    self.passthrough_degraded += 1
+                    out = []
+                    if session is not None:
+                        del self.table[key]
+                        out.append(self._close(session))
+                    out.append(pkt)
+                    return out
         out: List[Packet] = []
         if not self._mergeable(pkt):
             key = pkt.flow_key

@@ -313,6 +313,33 @@ def bind_machine(registry: MetricsRegistry, machine) -> None:
         registry.gauge(f"{base}.exits", lambda s=stats: s.exits)
         registry.gauge(f"{base}.disorder_events", lambda s=stats: s.disorder_events)
         registry.gauge(f"{base}.packets_degraded", lambda s=stats: s.packets_degraded)
+        registry.gauge(f"{base}.mode", lambda g=governor: g.mode)
+        registry.gauge(f"{base}.sort_enters", lambda s=stats: s.sort_enters)
+        registry.gauge(f"{base}.sort_exits", lambda s=stats: s.sort_exits)
+        registry.gauge(
+            f"{base}.mode_transitions", lambda s=stats: s.mode_transitions
+        )
+
+    for repair in getattr(machine, "repairs", ()):
+        stats = repair.stats
+        base = f"repair.{repair.name}"
+        registry.gauge(f"{base}.occupancy", lambda r=repair: r.occupancy)
+        registry.gauge(f"{base}.frames_in", lambda s=stats: s.frames_in)
+        registry.gauge(f"{base}.frames_out", lambda s=stats: s.frames_out)
+        registry.gauge(f"{base}.holds", lambda s=stats: s.holds)
+        registry.gauge(
+            f"{base}.releases_in_order", lambda s=stats: s.releases_in_order
+        )
+        registry.gauge(
+            f"{base}.releases_deadline", lambda s=stats: s.releases_deadline
+        )
+        registry.gauge(
+            f"{base}.releases_overflow", lambda s=stats: s.releases_overflow
+        )
+        registry.gauge(f"{base}.releases_flush", lambda s=stats: s.releases_flush)
+        registry.gauge(f"{base}.deadline_fires", lambda s=stats: s.deadline_fires)
+        registry.gauge(f"{base}.max_hold_ns", lambda s=stats: s.max_hold_ns)
+        registry.gauge(f"{base}.peak_occupancy", lambda s=stats: s.peak_occupancy)
 
     for link in getattr(machine, "links", ()):
         stats = link.stats

@@ -225,6 +225,14 @@ def bind_standard_probes(sampler: TimeSeriesSampler, machine, senders=()) -> Non
             f"aggr.{aggr.name}.queue_depth", lambda a=aggr: len(a.queue)
         )
 
+    for repair in getattr(machine, "repairs", ()):
+        sampler.add_probe(
+            f"repair.{repair.name}.occupancy", lambda r=repair: r.occupancy
+        )
+        sampler.add_probe(
+            f"repair.{repair.name}.mode", lambda r=repair: r.governor.mode
+        )
+
     mem = getattr(machine, "mem", None)
     if mem is not None:
         for node in mem.nodes:

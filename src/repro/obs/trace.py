@@ -65,12 +65,15 @@ class Stage:
     DRIVER_RESET = "driver.reset"        # watchdog reset: drain + reinit NIC
     AGGR_DEGRADE = "softirq.aggr.degrade"   # governor disables coalescing
     AGGR_RESTORE = "softirq.aggr.restore"   # governor re-enables coalescing
+    AGGR_SORT = "softirq.aggr.sort"      # governor enters sort-and-coalesce
+    REPAIR_DEADLINE = "repair.deadline"  # hold window expired: forced release
 
     ALL = (
         NIC_RX, LRO_MERGE, LRO_CLOSE, RING_POST, RING_DROP, DRIVER_ISR,
         SOFTIRQ, AGGR_RUN, AGGR_MERGE, AGGR_DELIVER, TCP_RX, SOCK_READ,
         ACK_TX, ACK_TEMPLATE, ACK_EXPAND, XCPU_BOUNCE, XCPU_WAKEUP,
         FAULT_BEGIN, FAULT_END, DRIVER_RESET, AGGR_DEGRADE, AGGR_RESTORE,
+        AGGR_SORT, REPAIR_DEADLINE,
     )
 
 

@@ -502,3 +502,111 @@ class TestFaultInvariantTampering:
 
         with pytest.raises(InvariantViolation, match="aggregation segment conservation"):
             self._run_with_corruption(corrupt)
+
+    def test_governor_sort_boundary_tamper_caught(self):
+        def corrupt(machine):
+            machine.governor.stats.sort_enters += 1  # mode no longer matches
+
+        with pytest.raises(InvariantViolation, match="sort-boundary accounting"):
+            self._run_with_corruption(
+                corrupt, opt=OptimizationConfig.resilient(repair=True)
+            )
+
+
+# ----------------------------------------------------------------------
+# reorder-repair audits: each fires on the matching tampered state
+# ----------------------------------------------------------------------
+class TestRepairInvariantTampering:
+    """The five repair-buffer audits (per-flow bound, sorted order, release
+    monotonicity, deadline, conservation) each trip on exactly the tamper
+    they guard against.  Hold-state tampers use fabricated flows on the
+    fake-machine harness — on a live rig in-order drains empty the buffer
+    faster than the deep-audit cadence; the conservation tamper runs end to
+    end on a real repair-enabled rig."""
+
+    def _repair_rig(self):
+        from repro.core.config import RepairConfig
+        from repro.faults.degradation import CoalesceGovernor
+        from repro.faults.repair import ReorderRepairBuffer
+
+        sim, _sanitizer, machine = make_sanitized()
+        repair = ReorderRepairBuffer(
+            cpu=None,
+            config=RepairConfig(depth=4),
+            governor=CoalesceGovernor(),
+            sink=lambda pkts: None,
+            name="fab-repair",
+        )
+        machine.repairs = [repair]
+        fire(sim, 4)  # clean audit first
+        return sim, repair
+
+    @staticmethod
+    def _park(repair, seqs, expected=None, deadline=None):
+        """Fabricate one flow holding ``seqs``, counters kept consistent."""
+        from repro.faults.repair import _FlowState
+
+        class _Tcp:
+            def __init__(self, seq):
+                self.seq = seq
+
+        class _Held:
+            def __init__(self, seq):
+                self.tcp = _Tcp(seq)
+
+        st = _FlowState()
+        st.held = [(0.0, _Held(seq)) for seq in seqs]
+        st.expected = expected
+        st.deadline = deadline
+        repair.flows["tamper-flow"] = st
+        repair.occupancy = len(st.held)
+        repair.stats.frames_in = repair.occupancy
+        return st
+
+    def test_overfull_flow_caught(self):
+        sim, repair = self._repair_rig()
+        self._park(repair, [1000, 2000, 3000, 4000, 5000])  # depth is 4
+        with pytest.raises(InvariantViolation, match="over the configured depth"):
+            fire(sim, 4)
+
+    def test_unsorted_hold_buffer_caught(self):
+        sim, repair = self._repair_rig()
+        self._park(repair, [2000, 1000])
+        with pytest.raises(InvariantViolation, match="out of sequence order"):
+            fire(sim, 4)
+
+    def test_release_point_regression_caught(self):
+        sim, repair = self._repair_rig()
+        # A held frame at or behind ``expected`` would be released behind
+        # the flow's release point — duplicate/regressing delivery.
+        self._park(repair, [1000, 2000], expected=1500)
+        with pytest.raises(InvariantViolation, match="release order would regress"):
+            fire(sim, 4)
+
+    def test_overdue_hold_caught(self):
+        sim, repair = self._repair_rig()
+        st = self._park(repair, [1000], deadline=-1.0)  # expired before now
+        assert not st.release_pending
+        with pytest.raises(InvariantViolation, match="parked past its deadline"):
+            fire(sim, 4)
+
+    def test_occupancy_counter_tamper_caught(self):
+        sim, repair = self._repair_rig()
+        self._park(repair, [1000])
+        repair.occupancy += 1
+        repair.stats.frames_in += 1  # keep frame conservation consistent
+        with pytest.raises(InvariantViolation, match="disagrees with"):
+            fire(sim, 4)
+
+    def test_frame_conservation_tamper_caught_end_to_end(self):
+        handle = install()
+        try:
+            sim, machine, clients, senders = build_stream_rig(
+                fast_config(), OptimizationConfig.resilient(repair=True)
+            )
+            sim.run(until=0.01)  # healthy warm-up under the sanitizer
+            machine.repairs[0].stats.frames_in += 1
+            with pytest.raises(InvariantViolation, match="conservation broken"):
+                sim.run(until=0.02)
+        finally:
+            uninstall(handle)
